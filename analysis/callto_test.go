@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+// TestRSAWithIVFlagged: the Cipher rule's §4 instanceof implication
+// (public/private key ⇒ noCallTo InitWithIV) must fire statically.
+func TestRSAWithIVFlagged(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func odd(pub *gca.PublicKey, iv *gca.IVParameterSpec, data []byte) ([]byte, error) {
+	c, err := gca.NewCipher("RSA/OAEP/SHA-256")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.InitWithIV(gca.EncryptMode, pub, iv); err != nil {
+		return nil, err
+	}
+	return c.DoFinal(data)
+}
+`)
+	if kinds(rep)[ConstraintError] == 0 {
+		t.Errorf("RSA key with InitWithIV not flagged via noCallTo implication: %v", rep.Findings)
+	}
+}
+
+// TestAESWithIVClean: the same implication must not fire for symmetric
+// keys.
+func TestAESWithIVClean(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func fine(key *gca.SecretKey, iv *gca.IVParameterSpec, data []byte) ([]byte, error) {
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.InitWithIV(gca.EncryptMode, key, iv); err != nil {
+		return nil, err
+	}
+	return c.DoFinal(data)
+}
+`)
+	if kinds(rep)[ConstraintError] != 0 {
+		t.Errorf("symmetric InitWithIV flagged: %v", rep.Findings)
+	}
+}

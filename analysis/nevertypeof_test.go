@@ -1,0 +1,41 @@
+package analysis
+
+import "testing"
+
+func TestPasswordFromStringFlagged(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func fromString(password string, salt []byte) error {
+	spec, err := gca.NewPBEKeySpec([]rune(password), salt, 10000, 128)
+	if err != nil {
+		return err
+	}
+	spec.ClearPassword()
+	return nil
+}
+`)
+	if kinds(rep)[ConstraintError] == 0 {
+		t.Errorf("password converted from string not flagged (neverTypeOf): %v", rep.Findings)
+	}
+}
+
+func TestPasswordFromRunesClean(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func fromRunes(password []rune, salt []byte) error {
+	spec, err := gca.NewPBEKeySpec(password, salt, 10000, 128)
+	if err != nil {
+		return err
+	}
+	spec.ClearPassword()
+	return nil
+}
+`)
+	if kinds(rep)[ConstraintError] != 0 {
+		t.Errorf("rune password flagged: %v", rep.Findings)
+	}
+}

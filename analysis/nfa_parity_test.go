@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"cognicryptgen/rules"
+)
+
+var (
+	nfaOnce sync.Once
+	nfaAna  *Analyzer
+	nfaErr  error
+)
+
+func nfaAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	nfaOnce.Do(func() { nfaAna, nfaErr = New(rules.MustLoad(), "", Options{NFASimulation: true}) })
+	if nfaErr != nil {
+		t.Fatal(nfaErr)
+	}
+	return nfaAna
+}
+
+// TestNFAModeParityOnMisuses cross-validates DFA and NFA simulation modes
+// over a battery of misuse and clean programs: finding multisets must
+// match exactly (kind + line).
+func TestNFAModeParityOnMisuses(t *testing.T) {
+	programs := []string{
+		figure1,
+		`package main
+
+import "cognicryptgen/gca"
+
+func weak() ([]byte, error) {
+	kg, err := gca.NewKeyGenerator("AES")
+	if err != nil {
+		return nil, err
+	}
+	key, err := kg.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	return key.Encoded(), nil
+}
+`,
+		`package main
+
+import "cognicryptgen/gca"
+
+func incomplete(key *gca.SecretKey) error {
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return err
+	}
+	return c.Init(gca.EncryptMode, key)
+}
+`,
+		`package main
+
+import "cognicryptgen/gca"
+
+func clean(data []byte) ([]byte, error) {
+	md, err := gca.NewMessageDigest("SHA-256")
+	if err != nil {
+		return nil, err
+	}
+	if err := md.Update(data); err != nil {
+		return nil, err
+	}
+	return md.Digest()
+}
+`,
+	}
+	dfa := sharedAnalyzer(t)
+	nfa := nfaAnalyzer(t)
+	for i, src := range programs {
+		rd, err := dfa.AnalyzeSource("p.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := nfa.AnalyzeSource("p.go", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rd.Findings) != len(rn.Findings) {
+			t.Errorf("program %d: DFA %d findings, NFA %d", i, len(rd.Findings), len(rn.Findings))
+			continue
+		}
+		for j := range rd.Findings {
+			a, b := rd.Findings[j], rn.Findings[j]
+			if a.Kind != b.Kind || a.Pos.Line != b.Pos.Line {
+				t.Errorf("program %d finding %d: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"cognicryptgen/rules"
+)
+
+var (
+	trOnce sync.Once
+	trAna  *Analyzer
+	trErr  error
+)
+
+func sharedAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	trOnce.Do(func() { trAna, trErr = New(rules.MustLoad(), "", Options{}) })
+	if trErr != nil {
+		t.Fatal(trErr)
+	}
+	return trAna
+}
+
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	rep, err := sharedAnalyzer(t).AnalyzeSource("prog.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCipherMissingDoFinalIsIncomplete(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func incomplete(key *gca.SecretKey) error {
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return err
+	}
+	return c.Init(gca.EncryptMode, key)
+}
+`)
+	if kinds(rep)[IncompleteOperationError] == 0 {
+		t.Errorf("Init without DoFinal must be incomplete: %v", rep.Findings)
+	}
+}
+
+func TestEscapedObjectNotIncomplete(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func handoff(key *gca.SecretKey) (*gca.Cipher, error) {
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Init(gca.EncryptMode, key); err != nil {
+		return nil, err
+	}
+	return c, nil // caller finishes the protocol
+}
+`)
+	if kinds(rep)[IncompleteOperationError] != 0 {
+		t.Errorf("escaped object flagged incomplete: %v", rep.Findings)
+	}
+}
+
+func TestObjectPassedToHelperEscapes(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func use(c *gca.Cipher) {}
+
+func handoff(key *gca.SecretKey) error {
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return err
+	}
+	use(c)
+	return nil
+}
+`)
+	if kinds(rep)[IncompleteOperationError] != 0 {
+		t.Errorf("object passed to helper flagged: %v", rep.Findings)
+	}
+}
+
+func TestAliasedObjectTracked(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func alias(pwd []rune, salt []byte) error {
+	spec, err := gca.NewPBEKeySpec(pwd, salt, 10000, 128)
+	if err != nil {
+		return err
+	}
+	other := spec
+	other.ClearPassword()
+	return nil
+}
+`)
+	if kinds(rep)[IncompleteOperationError] != 0 {
+		t.Errorf("alias not tracked; ClearPassword via alias missed: %v", rep.Findings)
+	}
+}
+
+func TestSignatureWrongOrder(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func badSign(priv *gca.PrivateKey, data []byte) ([]byte, error) {
+	s, err := gca.NewSignature("SHA256withECDSA")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Update(data); err != nil { // Update before InitSign
+		return nil, err
+	}
+	if err := s.InitSign(priv); err != nil {
+		return nil, err
+	}
+	return s.Sign()
+}
+`)
+	if kinds(rep)[TypestateError] == 0 {
+		t.Errorf("Update before InitSign not flagged: %v", rep.Findings)
+	}
+}
+
+func TestMacWeakAlgorithmConstraint(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func badMac(key *gca.SecretKey, data []byte) ([]byte, error) {
+	m, err := gca.NewMac("HmacSHA1")
+	if err != nil {
+		return nil, err
+	}
+	if err := m.InitMac(key); err != nil {
+		return nil, err
+	}
+	if err := m.Update(data); err != nil {
+		return nil, err
+	}
+	return m.DoFinalMac()
+}
+`)
+	if kinds(rep)[ConstraintError] == 0 {
+		t.Errorf("HmacSHA1 not flagged: %v", rep.Findings)
+	}
+}
+
+func TestShortSaltLengthConstraint(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func shortSalt(pwd []rune) error {
+	salt := make([]byte, 8) // below the rule's 16-byte minimum
+	r, err := gca.NewSecureRandom()
+	if err != nil {
+		return err
+	}
+	if err := r.NextBytes(salt); err != nil {
+		return err
+	}
+	spec, err := gca.NewPBEKeySpec(pwd, salt, 10000, 128)
+	if err != nil {
+		return err
+	}
+	spec.ClearPassword()
+	return nil
+}
+`)
+	if kinds(rep)[ConstraintError] == 0 {
+		t.Errorf("8-byte salt not flagged against length[salt] >= 16: %v", rep.Findings)
+	}
+}
+
+func TestZeroIVFlagged(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func zeroIV(key *gca.SecretKey, data []byte) ([]byte, error) {
+	iv := make([]byte, 12) // never randomized
+	spec, err := gca.NewIVParameterSpec(iv)
+	if err != nil {
+		return nil, err
+	}
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.InitWithIV(gca.EncryptMode, key, spec); err != nil {
+		return nil, err
+	}
+	return c.DoFinal(data)
+}
+`)
+	if kinds(rep)[RequiredPredicateError] == 0 {
+		t.Errorf("all-zero IV not flagged: %v", rep.Findings)
+	}
+}
+
+func TestRandomizedIVClean(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func goodIV(key *gca.SecretKey, data []byte) ([]byte, error) {
+	iv := make([]byte, 12)
+	r, err := gca.NewSecureRandom()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.NextBytes(iv); err != nil {
+		return nil, err
+	}
+	spec, err := gca.NewIVParameterSpec(iv)
+	if err != nil {
+		return nil, err
+	}
+	c, err := gca.NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.InitWithIV(gca.EncryptMode, key, spec); err != nil {
+		return nil, err
+	}
+	return c.DoFinal(data)
+}
+`)
+	if rep.HasFindings() {
+		t.Errorf("clean IV flow flagged: %v", rep.Findings)
+	}
+}
+
+func TestParameterFlowsAreAssumptionsNotFindings(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func fromOutside(pwd []rune, salt []byte) error {
+	spec, err := gca.NewPBEKeySpec(pwd, salt, 10000, 128)
+	if err != nil {
+		return err
+	}
+	spec.ClearPassword()
+	return nil
+}
+`)
+	if rep.HasFindings() {
+		t.Errorf("parameter-provided salt flagged as finding: %v", rep.Findings)
+	}
+	if len(rep.Assumptions) == 0 {
+		t.Error("cross-function salt flow should be recorded as an assumption")
+	}
+}
+
+func TestReceiverFromParameterIsAssumption(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func finish(c *gca.Cipher, data []byte) ([]byte, error) {
+	return c.DoFinal(data)
+}
+`)
+	if rep.HasFindings() {
+		t.Errorf("unknown receiver flagged: %v", rep.Findings)
+	}
+	if len(rep.Assumptions) == 0 {
+		t.Error("unknown receiver should be an assumption")
+	}
+}
+
+func TestDeadObjectStopsCascading(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func doubleBad() ([]byte, error) {
+	kg, err := gca.NewKeyGenerator("AES")
+	if err != nil {
+		return nil, err
+	}
+	k, err := kg.GenerateKey() // typestate error
+	if err != nil {
+		return nil, err
+	}
+	k2, err := kg.GenerateKey() // second violation on the same dead object
+	if err != nil {
+		return nil, err
+	}
+	_ = k2
+	return k.Encoded(), nil
+}
+`)
+	if n := kinds(rep)[TypestateError]; n != 1 {
+		t.Errorf("dead object should report once, got %d: %v", n, rep.Findings)
+	}
+}
+
+func TestMultipleObjectsTrackedIndependently(t *testing.T) {
+	rep := analyze(t, `package main
+
+import "cognicryptgen/gca"
+
+func two(data []byte) ([]byte, []byte, error) {
+	a, err := gca.NewMessageDigest("SHA-256")
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := gca.NewMessageDigest("MD5") // constraint violation on b only
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := a.Update(data); err != nil {
+		return nil, nil, err
+	}
+	if err := b.Update(data); err != nil {
+		return nil, nil, err
+	}
+	da, err := a.Digest()
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := b.Digest()
+	if err != nil {
+		return nil, nil, err
+	}
+	return da, db, nil
+}
+`)
+	if n := kinds(rep)[ConstraintError]; n != 1 {
+		t.Errorf("exactly one digest should be flagged, got %d: %v", n, rep.Findings)
+	}
+}

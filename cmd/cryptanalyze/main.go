@@ -1,0 +1,101 @@
+// Command cryptanalyze runs the GoCrySL misuse analyzer (the
+// CogniCryptSAST analog) over Go source files:
+//
+//	cryptanalyze file.go ...              analyse single files
+//	cryptanalyze ./pkg                    analyse a package directory
+//	cryptanalyze -assumptions file.go     also print unverified flows
+//	cryptanalyze -nfa file.go             NFA-simulation mode (ablation)
+//	cryptanalyze -json file.go            machine-readable findings
+//
+// Exit status is 1 when any misuse is found.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cognicryptgen/analysis"
+	"cognicryptgen/rules"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cryptanalyze: ")
+	showAssumptions := flag.Bool("assumptions", false, "print unverified cross-function flows")
+	nfa := flag.Bool("nfa", false, "simulate orders on the NFA instead of the DFA")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: cryptanalyze [-assumptions] file.go ...")
+	}
+
+	an, err := analysis.New(rules.MustLoad(), "", analysis.Options{NFASimulation: *nfa})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, path := range flag.Args() {
+		var rep *analysis.Report
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.IsDir() {
+			rep, err = an.AnalyzeDir(path)
+		} else {
+			var data []byte
+			data, err = os.ReadFile(path)
+			if err == nil {
+				rep, err = an.AnalyzeSource(path, string(data))
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			type jsonFinding struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Column   int    `json:"column"`
+				Kind     string `json:"kind"`
+				Rule     string `json:"rule"`
+				Function string `json:"function"`
+				Message  string `json:"message"`
+			}
+			out := make([]jsonFinding, 0, len(rep.Findings))
+			for _, f := range rep.Findings {
+				out = append(out, jsonFinding{
+					File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+					Kind: f.Kind.String(), Rule: f.Rule, Function: f.Function, Message: f.Message,
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			for _, f := range rep.Findings {
+				fmt.Println(f)
+			}
+		}
+		total += len(rep.Findings)
+		if *showAssumptions {
+			for _, a := range rep.Assumptions {
+				fmt.Printf("%s: assumption: %s\n", path, a)
+			}
+		}
+	}
+	if total > 0 {
+		if !*jsonOut {
+			fmt.Printf("%d misuse(s) found\n", total)
+		}
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Println("no misuses found")
+	}
+}

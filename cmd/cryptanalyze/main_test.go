@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping subprocess CLI test in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMisuseExitsNonZero(t *testing.T) {
+	path := writeProg(t, `package main
+
+import "cognicryptgen/gca"
+
+func weak(pwd []rune) {
+	spec, _ := gca.NewPBEKeySpecNoSalt(pwd)
+	_ = spec
+}
+`)
+	out, err := runCLI(t, path)
+	if err == nil {
+		t.Fatalf("misuse should exit 1:\n%s", out)
+	}
+	if !strings.Contains(out, "ForbiddenMethodError") {
+		t.Errorf("finding missing:\n%s", out)
+	}
+}
+
+func TestCleanCodeExitsZero(t *testing.T) {
+	path := writeProg(t, `package main
+
+import "cognicryptgen/gca"
+
+func hash(data []byte) ([]byte, error) {
+	md, err := gca.NewMessageDigest("SHA-256")
+	if err != nil {
+		return nil, err
+	}
+	if err := md.Update(data); err != nil {
+		return nil, err
+	}
+	return md.Digest()
+}
+`)
+	out, err := runCLI(t, path)
+	if err != nil {
+		t.Fatalf("clean code flagged: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no misuses found") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,138 @@
+// Command cryslc is the GoCrySL rule compiler and inspector:
+//
+//	cryslc                      check the embedded gca rule set
+//	cryslc file.crysl ...       check specific rule files
+//	cryslc -dump [rule]         print events, order automaton, and paths
+//	cryslc -paths [rule]        print the accepting call paths
+//	cryslc -fmt [files]         print rules in canonical form
+//
+// Exit status is non-zero when any rule fails to parse or check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"cognicryptgen/crysl"
+	"cognicryptgen/crysl/format"
+	"cognicryptgen/rules"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cryslc: ")
+	dump := flag.Bool("dump", false, "dump rule details (events, automaton, paths)")
+	paths := flag.Bool("paths", false, "print accepting call paths per rule")
+	canon := flag.Bool("fmt", false, "print rules in canonical form instead of checking")
+	ruleName := flag.String("rule", "", "restrict -dump/-paths/-fmt to one rule")
+	flag.Parse()
+
+	var set *crysl.RuleSet
+	if flag.NArg() == 0 {
+		s, err := rules.Load()
+		if err != nil {
+			log.Fatalf("embedded rule set broken: %v", err)
+		}
+		set = s
+	} else {
+		set = crysl.NewRuleSet()
+		failed := false
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Printf("%v", err)
+				failed = true
+				continue
+			}
+			r, err := crysl.ParseRule(path, string(data))
+			if err != nil {
+				log.Printf("%v", err)
+				failed = true
+				continue
+			}
+			if err := set.Add(r); err != nil {
+				log.Printf("%v", err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+
+	selected := set.Rules()
+	if *ruleName != "" {
+		r, ok := set.Get(*ruleName)
+		if !ok {
+			log.Fatalf("no rule %q", *ruleName)
+		}
+		selected = []*crysl.Rule{r}
+	}
+
+	if *canon {
+		for i, r := range selected {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(format.Rule(r.AST))
+		}
+		return
+	}
+
+	// Cross-rule consistency (only meaningful over the whole set).
+	lintFailed := false
+	if *ruleName == "" {
+		for _, issue := range crysl.Lint(set) {
+			if issue.Severity == crysl.LintError {
+				lintFailed = true
+				fmt.Println(issue)
+			}
+		}
+	}
+
+	for _, r := range selected {
+		fmt.Printf("%s: %d objects, %d events, %d constraints, DFA states=%d\n",
+			r.SpecType(), len(r.AST.Objects), len(r.Events), len(r.AST.Constraints), r.DFA.NumStates)
+		if *dump {
+			labels := make([]string, 0, len(r.Events))
+			for l := range r.Events {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				fmt.Printf("  %s: %s\n", l, r.Events[l])
+			}
+			if r.AST.Order != nil {
+				fmt.Printf("  ORDER %s\n", r.AST.Order)
+			}
+			fmt.Print(indent(r.DFA.String(), "  "))
+		}
+		if *dump || *paths {
+			for _, p := range r.DFA.AcceptingPaths(64) {
+				fmt.Printf("  path: %v\n", p)
+			}
+		}
+	}
+	if lintFailed {
+		log.Fatal("rule set has lint errors")
+	}
+	fmt.Printf("%d rule(s) OK\n", len(selected))
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += prefix + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += prefix + s[start:] + "\n"
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI executes this command via `go run .` (subprocess; skipped with
+// -short).
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping subprocess CLI test in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCheckEmbeddedRules(t *testing.T) {
+	out, err := runCLI(t)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "14 rule(s) OK") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestDumpSingleRule(t *testing.T) {
+	out, err := runCLI(t, "-dump", "-rule", "gca.Cipher")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"gca.Cipher", "ORDER", "path: [c1 i1 f1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtRoundTrips(t *testing.T) {
+	out, err := runCLI(t, "-fmt", "-rule", "gca.SecureRandom")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "SPEC gca.SecureRandom") {
+		t.Errorf("canonical form:\n%s", out)
+	}
+}
+
+func TestBrokenRuleFileFails(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.crysl")
+	if err := os.WriteFile(bad, []byte("SPEC\n???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, bad)
+	if err == nil {
+		t.Fatalf("broken rule accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,425 @@
+// Package ast defines the abstract syntax tree for GoCrySL rules.
+//
+// A rule file contains exactly one rule. A rule names the type it specifies
+// (SPEC) and contains up to eight sections, none of which is mandatory:
+// OBJECTS, FORBIDDEN, EVENTS, ORDER, CONSTRAINTS, REQUIRES, ENSURES and
+// NEGATES. The tree mirrors the CrySL language of Krüger et al. with
+// Go-flavoured types and events.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"cognicryptgen/crysl/token"
+)
+
+// Rule is the root node of a parsed GoCrySL rule.
+type Rule struct {
+	SpecPos     token.Pos
+	SpecType    string // fully qualified specified type, e.g. "gca.PBEKeySpec"
+	Objects     []*Object
+	Forbidden   []*ForbiddenEvent
+	Events      []*EventDecl
+	Order       OrderExpr // nil when the rule has no ORDER section
+	Constraints []Constraint
+	Requires    []*PredicateUse
+	Ensures     []*PredicateDef
+	Negates     []*PredicateDef
+}
+
+// Name returns the unqualified name of the specified type.
+func (r *Rule) Name() string {
+	if i := strings.LastIndexByte(r.SpecType, '.'); i >= 0 {
+		return r.SpecType[i+1:]
+	}
+	return r.SpecType
+}
+
+// Object declares a named object in the OBJECTS section, e.g.
+// "[]byte salt;".
+type Object struct {
+	Pos  token.Pos
+	Type Type
+	Name string
+}
+
+func (o *Object) String() string { return fmt.Sprintf("%s %s", o.Type, o.Name) }
+
+// Type is a GoCrySL type: a base type, a slice type, or a named type.
+type Type struct {
+	Slice bool   // true for []byte, []rune, []gca.X
+	Name  string // "byte", "rune", "int", "string", "bool", or qualified name
+}
+
+func (t Type) String() string {
+	if t.Slice {
+		return "[]" + t.Name
+	}
+	return t.Name
+}
+
+// IsNamed reports whether the type refers to a package-qualified named type.
+func (t Type) IsNamed() bool { return strings.ContainsRune(t.Name, '.') }
+
+// EventDecl declares a labelled method-event pattern in the EVENTS section:
+//
+//	c1: NewPBEKeySpec(password, salt, iterationCount, keylength);
+//	g := c1 | c2;              // aggregate
+//
+// Exactly one of Pattern and Aggregate is set.
+type EventDecl struct {
+	Pos       token.Pos
+	Label     string
+	Pattern   *EventPattern
+	Aggregate []string // labels aggregated under this label
+}
+
+// IsAggregate reports whether the declaration aggregates other labels.
+func (d *EventDecl) IsAggregate() bool { return d.Pattern == nil }
+
+// EventPattern is a single method-event pattern: an optional result binding,
+// a method name, and parameter references.
+type EventPattern struct {
+	Result string // bound result object name, "" if none, "this" allowed
+	Method string // method or constructor name, e.g. "NewPBEKeySpec"
+	Params []Param
+}
+
+func (p *EventPattern) String() string {
+	parts := make([]string, len(p.Params))
+	for i, pr := range p.Params {
+		parts[i] = pr.String()
+	}
+	s := fmt.Sprintf("%s(%s)", p.Method, strings.Join(parts, ", "))
+	if p.Result != "" {
+		s = p.Result + " = " + s
+	}
+	return s
+}
+
+// Param is a parameter reference inside an event pattern: either a declared
+// object name or the wildcard "_".
+type Param struct {
+	Name     string
+	Wildcard bool
+}
+
+func (p Param) String() string {
+	if p.Wildcard {
+		return "_"
+	}
+	return p.Name
+}
+
+// ForbiddenEvent names a method that must never be called, optionally with
+// an arity and a replacement label:
+//
+//	NewCipherNoMode(_) => c1;
+type ForbiddenEvent struct {
+	Pos         token.Pos
+	Method      string
+	Params      []Param
+	HasParams   bool   // distinguishes "M" (any arity) from "M()" (zero arity)
+	Replacement string // label of the secure alternative, "" if none
+}
+
+// OrderExpr is a node of the ORDER regular expression over event labels.
+type OrderExpr interface {
+	isOrder()
+	String() string
+}
+
+// OrderSeq is sequential composition: a, b, c.
+type OrderSeq struct{ Parts []OrderExpr }
+
+// OrderAlt is alternation: a | b.
+type OrderAlt struct{ Parts []OrderExpr }
+
+// OrderRep is repetition or optionality of a sub-expression.
+type OrderRep struct {
+	Sub OrderExpr
+	Op  RepOp
+}
+
+// RepOp is the repetition operator applied in an OrderRep.
+type RepOp int
+
+// Repetition operators.
+const (
+	RepOpt  RepOp = iota // ?
+	RepStar              // *
+	RepPlus              // +
+)
+
+func (o RepOp) String() string {
+	switch o {
+	case RepOpt:
+		return "?"
+	case RepStar:
+		return "*"
+	case RepPlus:
+		return "+"
+	}
+	return "?"
+}
+
+// OrderRef references an event label (or aggregate label).
+type OrderRef struct {
+	Pos   token.Pos
+	Label string
+}
+
+func (*OrderSeq) isOrder() {}
+func (*OrderAlt) isOrder() {}
+func (*OrderRep) isOrder() {}
+func (*OrderRef) isOrder() {}
+
+func (s *OrderSeq) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (a *OrderAlt) String() string {
+	parts := make([]string, len(a.Parts))
+	for i, p := range a.Parts {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (r *OrderRep) String() string { return "(" + r.Sub.String() + ")" + r.Op.String() }
+func (r *OrderRef) String() string { return r.Label }
+
+// Constraint is a node of the CONSTRAINTS section.
+type Constraint interface {
+	isConstraint()
+	String() string
+}
+
+// InSet constrains a value expression to a literal set:
+// "keylength in {128, 192, 256};".
+type InSet struct {
+	Pos    token.Pos
+	Val    ValueExpr
+	Lits   []Literal
+	Negate bool
+}
+
+// Rel is a relational constraint: "iterationCount >= 10000;".
+type Rel struct {
+	Pos token.Pos
+	Op  token.Kind // EQ, NEQ, LT, LEQ, GT, GEQ
+	LHS ValueExpr
+	RHS ValueExpr
+}
+
+// Implies is a conditional constraint: "A => B;".
+type Implies struct {
+	Pos        token.Pos
+	Antecedent Constraint
+	Consequent Constraint
+}
+
+// BoolCombo combines constraints with && or ||.
+type BoolCombo struct {
+	Pos token.Pos
+	Op  token.Kind // AND or OROR
+	LHS Constraint
+	RHS Constraint
+}
+
+// InstanceOf is the built-in predicate introduced in the paper's §4:
+// "instanceof[key, gca.SecretKey]".
+type InstanceOf struct {
+	Pos  token.Pos
+	Var  string
+	Type string
+}
+
+// NeverTypeOf forbids an object's value from originating as the given Go
+// type: "neverTypeOf[password, string]" is CrySL's guard for the paper's
+// §2.1 misuse of keeping passwords in immutable strings.
+type NeverTypeOf struct {
+	Pos  token.Pos
+	Var  string
+	Type string
+}
+
+// CallTo requires (or, negated, forbids) that one of the listed event
+// labels occurs on every accepting path.
+type CallTo struct {
+	Pos    token.Pos
+	Labels []string
+	Negate bool // noCallTo
+}
+
+func (*InSet) isConstraint()       {}
+func (*Rel) isConstraint()         {}
+func (*Implies) isConstraint()     {}
+func (*BoolCombo) isConstraint()   {}
+func (*InstanceOf) isConstraint()  {}
+func (*NeverTypeOf) isConstraint() {}
+func (*CallTo) isConstraint()      {}
+
+func (c *InSet) String() string {
+	parts := make([]string, len(c.Lits))
+	for i, l := range c.Lits {
+		parts[i] = l.String()
+	}
+	op := "in"
+	if c.Negate {
+		op = "not in"
+	}
+	return fmt.Sprintf("%s %s {%s}", c.Val, op, strings.Join(parts, ", "))
+}
+
+func (c *Rel) String() string {
+	return fmt.Sprintf("%s %s %s", c.LHS, c.Op, c.RHS)
+}
+
+func (c *Implies) String() string {
+	return fmt.Sprintf("%s => %s", c.Antecedent, c.Consequent)
+}
+
+func (c *BoolCombo) String() string {
+	return fmt.Sprintf("%s %s %s", c.LHS, c.Op, c.RHS)
+}
+
+func (c *InstanceOf) String() string {
+	return fmt.Sprintf("instanceof[%s, %s]", c.Var, c.Type)
+}
+
+func (c *NeverTypeOf) String() string {
+	return fmt.Sprintf("neverTypeOf[%s, %s]", c.Var, c.Type)
+}
+
+func (c *CallTo) String() string {
+	name := "callTo"
+	if c.Negate {
+		name = "noCallTo"
+	}
+	return fmt.Sprintf("%s[%s]", name, strings.Join(c.Labels, ", "))
+}
+
+// ValueExpr is a value-producing expression inside a constraint.
+type ValueExpr interface {
+	isValue()
+	String() string
+}
+
+// VarRef references a declared object by name.
+type VarRef struct {
+	Pos  token.Pos
+	Name string
+}
+
+// Literal is an int, string, char, or bool literal.
+type Literal struct {
+	Pos  token.Pos
+	Kind token.Kind // INT, STRING, CHAR, BOOL
+	Str  string
+	Int  int64
+	Bool bool
+}
+
+// Part extracts a separator-delimited component of a string object:
+// "part(0, "/", transformation)". Mirrors CrySL's alg(...)/mode(...)
+// transformation accessors in a single general form.
+type Part struct {
+	Pos   token.Pos
+	Index int
+	Sep   string
+	Var   string
+}
+
+// Length refers to the length of an object: "length[salt]".
+type Length struct {
+	Pos token.Pos
+	Var string
+}
+
+func (*VarRef) isValue()  {}
+func (*Literal) isValue() {}
+func (*Part) isValue()    {}
+func (*Length) isValue()  {}
+
+func (v *VarRef) String() string { return v.Name }
+
+func (l *Literal) String() string {
+	switch l.Kind {
+	case token.STRING:
+		return fmt.Sprintf("%q", l.Str)
+	case token.CHAR:
+		return fmt.Sprintf("'%s'", l.Str)
+	case token.BOOL:
+		return fmt.Sprintf("%t", l.Bool)
+	default:
+		return fmt.Sprintf("%d", l.Int)
+	}
+}
+
+func (p *Part) String() string {
+	return fmt.Sprintf("part(%d, %q, %s)", p.Index, p.Sep, p.Var)
+}
+
+func (l *Length) String() string { return fmt.Sprintf("length[%s]", l.Var) }
+
+// PredicateDef defines a predicate the rule ENSURES or NEGATES:
+// "speccedKey[this, keylength] after c1;".
+type PredicateDef struct {
+	Pos        token.Pos
+	Name       string
+	Params     []PredParam
+	AfterLabel string // event label gating the predicate, "" = after full use
+}
+
+func (p *PredicateDef) String() string {
+	parts := make([]string, len(p.Params))
+	for i, pp := range p.Params {
+		parts[i] = pp.String()
+	}
+	s := fmt.Sprintf("%s[%s]", p.Name, strings.Join(parts, ", "))
+	if p.AfterLabel != "" {
+		s += " after " + p.AfterLabel
+	}
+	return s
+}
+
+// PredicateUse names a predicate the rule REQUIRES on one of its objects:
+// "randomized[salt];".
+type PredicateUse struct {
+	Pos      token.Pos
+	Name     string
+	Params   []PredParam
+	Optional bool // alternative-tolerant requirement (CrySL's "pred1 || pred2" not modelled; kept simple)
+}
+
+func (p *PredicateUse) String() string {
+	parts := make([]string, len(p.Params))
+	for i, pp := range p.Params {
+		parts[i] = pp.String()
+	}
+	return fmt.Sprintf("%s[%s]", p.Name, strings.Join(parts, ", "))
+}
+
+// PredParam is a predicate parameter: an object name, "this", or "_".
+type PredParam struct {
+	Name     string
+	This     bool
+	Wildcard bool
+}
+
+func (p PredParam) String() string {
+	switch {
+	case p.This:
+		return "this"
+	case p.Wildcard:
+		return "_"
+	default:
+		return p.Name
+	}
+}

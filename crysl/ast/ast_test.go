@@ -1,0 +1,165 @@
+package ast
+
+import (
+	"testing"
+
+	"cognicryptgen/crysl/token"
+)
+
+func TestRuleName(t *testing.T) {
+	cases := map[string]string{
+		"gca.PBEKeySpec": "PBEKeySpec",
+		"a.b.C":          "C",
+		"NoPackage":      "NoPackage",
+	}
+	for spec, want := range cases {
+		r := &Rule{SpecType: spec}
+		if got := r.Name(); got != want {
+			t.Errorf("Name(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{Type{Name: "int"}, "int"},
+		{Type{Slice: true, Name: "byte"}, "[]byte"},
+		{Type{Name: "gca.Cipher"}, "gca.Cipher"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+	if !(Type{Name: "gca.Cipher"}).IsNamed() || (Type{Name: "int"}).IsNamed() {
+		t.Error("IsNamed wrong")
+	}
+}
+
+func TestEventPatternString(t *testing.T) {
+	p := &EventPattern{Method: "Init", Params: []Param{{Name: "mode"}, {Wildcard: true}}}
+	if got := p.String(); got != "Init(mode, _)" {
+		t.Errorf("got %q", got)
+	}
+	p.Result = "key"
+	if got := p.String(); got != "key = Init(mode, _)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	a := &OrderRef{Label: "a"}
+	b := &OrderRef{Label: "b"}
+	seq := &OrderSeq{Parts: []OrderExpr{a, b}}
+	if seq.String() != "a, b" {
+		t.Errorf("seq: %q", seq.String())
+	}
+	alt := &OrderAlt{Parts: []OrderExpr{a, b}}
+	if alt.String() != "(a) | (b)" {
+		t.Errorf("alt: %q", alt.String())
+	}
+	rep := &OrderRep{Sub: a, Op: RepStar}
+	if rep.String() != "(a)*" {
+		t.Errorf("rep: %q", rep.String())
+	}
+	for op, want := range map[RepOp]string{RepOpt: "?", RepStar: "*", RepPlus: "+"} {
+		if op.String() != want {
+			t.Errorf("RepOp %v: %q", op, op.String())
+		}
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	v := &VarRef{Name: "n"}
+	lit := Literal{Kind: token.INT, Int: 10}
+	rel := &Rel{Op: token.GEQ, LHS: v, RHS: &lit}
+	if rel.String() != "n >= 10" {
+		t.Errorf("rel: %q", rel.String())
+	}
+	set := &InSet{Val: v, Lits: []Literal{lit, {Kind: token.STRING, Str: "x"}}}
+	if set.String() != `n in {10, "x"}` {
+		t.Errorf("set: %q", set.String())
+	}
+	set.Negate = true
+	if set.String() != `n not in {10, "x"}` {
+		t.Errorf("negated set: %q", set.String())
+	}
+	imp := &Implies{Antecedent: rel, Consequent: set}
+	if imp.String() != `n >= 10 => n not in {10, "x"}` {
+		t.Errorf("implies: %q", imp.String())
+	}
+	inst := &InstanceOf{Var: "k", Type: "gca.Key"}
+	if inst.String() != "instanceof[k, gca.Key]" {
+		t.Errorf("instanceof: %q", inst.String())
+	}
+	ct := &CallTo{Labels: []string{"a", "b"}}
+	if ct.String() != "callTo[a, b]" {
+		t.Errorf("callTo: %q", ct.String())
+	}
+	ct.Negate = true
+	if ct.String() != "noCallTo[a, b]" {
+		t.Errorf("noCallTo: %q", ct.String())
+	}
+	part := &Part{Index: 0, Sep: "/", Var: "trans"}
+	if part.String() != `part(0, "/", trans)` {
+		t.Errorf("part: %q", part.String())
+	}
+	l := &Length{Var: "salt"}
+	if l.String() != "length[salt]" {
+		t.Errorf("length: %q", l.String())
+	}
+	bc := &BoolCombo{Op: token.AND, LHS: rel, RHS: rel}
+	if bc.String() != "n >= 10 && n >= 10" {
+		t.Errorf("combo: %q", bc.String())
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	def := &PredicateDef{
+		Name:       "speccedKey",
+		Params:     []PredParam{{This: true}, {Name: "keylength"}},
+		AfterLabel: "c1",
+	}
+	if def.String() != "speccedKey[this, keylength] after c1" {
+		t.Errorf("def: %q", def.String())
+	}
+	use := &PredicateUse{Name: "randomized", Params: []PredParam{{Name: "salt"}}}
+	if use.String() != "randomized[salt]" {
+		t.Errorf("use: %q", use.String())
+	}
+	wild := PredParam{Wildcard: true}
+	if wild.String() != "_" {
+		t.Errorf("wildcard: %q", wild.String())
+	}
+}
+
+func TestLiteralStrings(t *testing.T) {
+	cases := []struct {
+		lit  Literal
+		want string
+	}{
+		{Literal{Kind: token.INT, Int: -3}, "-3"},
+		{Literal{Kind: token.STRING, Str: `a"b`}, `"a\"b"`},
+		{Literal{Kind: token.CHAR, Str: "x"}, "'x'"},
+		{Literal{Kind: token.BOOL, Bool: false}, "false"},
+	}
+	for _, c := range cases {
+		if got := c.lit.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEventDeclIsAggregate(t *testing.T) {
+	agg := &EventDecl{Label: "g", Aggregate: []string{"a"}}
+	if !agg.IsAggregate() {
+		t.Error("aggregate not detected")
+	}
+	ev := &EventDecl{Label: "c", Pattern: &EventPattern{Method: "New"}}
+	if ev.IsAggregate() {
+		t.Error("pattern misdetected as aggregate")
+	}
+}

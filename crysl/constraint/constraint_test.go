@@ -1,0 +1,341 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/parser"
+	"cognicryptgen/crysl/token"
+)
+
+// parseConstraints extracts the CONSTRAINTS of a synthetic rule, reusing
+// the real parser so tests cover the same ASTs production code sees.
+func parseConstraints(t *testing.T, decls, constraints string) []ast.Constraint {
+	t.Helper()
+	src := "SPEC T\nOBJECTS\n" + decls + "\nCONSTRAINTS\n" + constraints
+	rule, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return rule.Constraints
+}
+
+func envWith(vars map[string]Value) *Env {
+	return &Env{Vars: vars}
+}
+
+func TestEvalInSet(t *testing.T) {
+	cs := parseConstraints(t, "int keylength;", "keylength in {128, 192, 256};")
+	cases := []struct {
+		val  Value
+		want Tri
+	}{
+		{IntVal(128), True},
+		{IntVal(100), False},
+		{Unknown, Maybe},
+	}
+	for _, c := range cases {
+		got := Eval(cs[0], envWith(map[string]Value{"keylength": c.val}))
+		if got != c.want {
+			t.Errorf("keylength=%v: got %v, want %v", c.val, got, c.want)
+		}
+	}
+}
+
+func TestEvalRelOperators(t *testing.T) {
+	cs := parseConstraints(t, "int n;", "n >= 10000;\nn < 10;\nn != 5;")
+	env := envWith(map[string]Value{"n": IntVal(10000)})
+	if Eval(cs[0], env) != True {
+		t.Error(">= at boundary should hold")
+	}
+	if Eval(cs[1], env) != False {
+		t.Error("< should fail")
+	}
+	if Eval(cs[2], env) != True {
+		t.Error("!= should hold")
+	}
+}
+
+func TestEvalStringRel(t *testing.T) {
+	cs := parseConstraints(t, "string s;", `s == "AES";`)
+	if Eval(cs[0], envWith(map[string]Value{"s": StrVal("AES")})) != True {
+		t.Error("string equality failed")
+	}
+	if Eval(cs[0], envWith(map[string]Value{"s": StrVal("DES")})) != False {
+		t.Error("string inequality failed")
+	}
+}
+
+func TestEvalImplies(t *testing.T) {
+	cs := parseConstraints(t, "string alg;\nint size;", `alg in {"RSA"} => size in {2048};`)
+	c := cs[0]
+	cases := []struct {
+		alg, size Value
+		want      Tri
+	}{
+		{StrVal("RSA"), IntVal(2048), True},
+		{StrVal("RSA"), IntVal(1024), False},
+		{StrVal("EC"), IntVal(1024), True}, // antecedent false
+		{StrVal("RSA"), Unknown, Maybe},
+		{Unknown, IntVal(2048), True}, // consequent true regardless
+		{Unknown, Unknown, Maybe},
+	}
+	for _, tc := range cases {
+		env := envWith(map[string]Value{"alg": tc.alg, "size": tc.size})
+		if got := Eval(c, env); got != tc.want {
+			t.Errorf("alg=%v size=%v: got %v, want %v", tc.alg, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestEvalBoolCombo(t *testing.T) {
+	cs := parseConstraints(t, "int a;\nint b;", "a >= 1 && b >= 1;\na >= 1 || b >= 1;")
+	and, or := cs[0], cs[1]
+	env := envWith(map[string]Value{"a": IntVal(1), "b": IntVal(0)})
+	if Eval(and, env) != False {
+		t.Error("&& with false side")
+	}
+	if Eval(or, env) != True {
+		t.Error("|| with true side")
+	}
+	env = envWith(map[string]Value{"a": IntVal(1), "b": Unknown})
+	if Eval(and, env) != Maybe {
+		t.Error("&& with unknown side should be Maybe")
+	}
+	if Eval(or, env) != True {
+		t.Error("|| with one true side should be True even if other unknown")
+	}
+}
+
+func TestEvalPart(t *testing.T) {
+	cs := parseConstraints(t, "string transformation;", `part(0, "/", transformation) in {"AES"};
+part(1, "/", transformation) in {"GCM"};
+part(5, "/", transformation) in {"X"};`)
+	env := envWith(map[string]Value{"transformation": StrVal("AES/GCM/NoPadding")})
+	if Eval(cs[0], env) != True {
+		t.Error("part 0")
+	}
+	if Eval(cs[1], env) != True {
+		t.Error("part 1")
+	}
+	if Eval(cs[2], env) != Maybe {
+		t.Error("out-of-range part should be Maybe (unknown)")
+	}
+}
+
+func TestEvalLength(t *testing.T) {
+	cs := parseConstraints(t, "[]byte salt;", "length[salt] >= 16;")
+	env := &Env{Lengths: map[string]int{"salt": 32}}
+	if Eval(cs[0], env) != True {
+		t.Error("length 32 >= 16")
+	}
+	env = &Env{Lengths: map[string]int{"salt": 8}}
+	if Eval(cs[0], env) != False {
+		t.Error("length 8 >= 16 must be False")
+	}
+	if Eval(cs[0], &Env{}) != Maybe {
+		t.Error("unknown length should be Maybe")
+	}
+}
+
+func TestEvalInstanceOf(t *testing.T) {
+	cs := parseConstraints(t, "gca.Key key;", "instanceof[key, gca.SecretKey];")
+	env := &Env{Types: map[string]string{"key": "gca.SecretKey"}}
+	if Eval(cs[0], env) != True {
+		t.Error("exact type")
+	}
+	env = &Env{
+		Types:    map[string]string{"key": "gca.SecretKeySpec"},
+		Subtypes: map[string][]string{"gca.SecretKeySpec": {"gca.SecretKey", "gca.Key"}},
+	}
+	if Eval(cs[0], env) != True {
+		t.Error("subtype via table")
+	}
+	env = &Env{Types: map[string]string{"key": "gca.PublicKey"}}
+	if Eval(cs[0], env) != False {
+		t.Error("mismatched type")
+	}
+	if Eval(cs[0], &Env{}) != Maybe {
+		t.Error("no type info should be Maybe")
+	}
+}
+
+func TestEvalCallTo(t *testing.T) {
+	cs := parseConstraints(t, "int x;", "callTo[c1];\nnoCallTo[c2];")
+	env := &Env{Called: map[string]bool{"c1": true}}
+	if Eval(cs[0], env) != True || Eval(cs[1], env) != True {
+		t.Error("callTo semantics")
+	}
+	env = &Env{Called: map[string]bool{"c2": true}}
+	if Eval(cs[0], env) != False || Eval(cs[1], env) != False {
+		t.Error("negated callTo semantics")
+	}
+}
+
+func TestDeriveFirstLiteralWins(t *testing.T) {
+	cs := parseConstraints(t, "string alg;", `alg in {"PBKDF2WithHmacSHA256", "PBKDF2WithHmacSHA512"};`)
+	v, ok := Derive("alg", cs, &Env{})
+	if !ok || v.Str != "PBKDF2WithHmacSHA256" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+}
+
+func TestDeriveRelationalBoundaries(t *testing.T) {
+	cases := []struct {
+		constraint string
+		want       int64
+	}{
+		{"n >= 10000;", 10000},
+		{"n > 10000;", 10001},
+		{"n <= 7;", 7},
+		{"n < 7;", 6},
+		{"n == 42;", 42},
+	}
+	for _, c := range cases {
+		cs := parseConstraints(t, "int n;", c.constraint)
+		v, ok := Derive("n", cs, &Env{})
+		if !ok || v.Int != c.want {
+			t.Errorf("%s: got %v (ok=%v), want %d", c.constraint, v, ok, c.want)
+		}
+	}
+}
+
+func TestDeriveThroughImplication(t *testing.T) {
+	cs := parseConstraints(t, "string alg;\nint size;",
+		`alg in {"RSA"} => size in {2048, 3072};
+alg in {"ECDSA"} => size in {256, 384};`)
+	env := envWith(map[string]Value{"alg": StrVal("ECDSA")})
+	v, ok := Derive("size", cs, env)
+	if !ok || v.Int != 256 {
+		t.Fatalf("got %v (ok=%v), want 256", v, ok)
+	}
+	env = envWith(map[string]Value{"alg": StrVal("RSA")})
+	v, _ = Derive("size", cs, env)
+	if v.Int != 2048 {
+		t.Fatalf("RSA branch: got %v", v)
+	}
+	// Unknown antecedent: nothing derivable.
+	if _, ok := Derive("size", cs, &Env{}); ok {
+		t.Error("derivation with unknown antecedent should fail")
+	}
+}
+
+func TestDeriveIgnoresOtherVariables(t *testing.T) {
+	cs := parseConstraints(t, "int a;\nint b;", "a in {1, 2};")
+	if _, ok := Derive("b", cs, &Env{}); ok {
+		t.Error("derived a value for an unconstrained variable")
+	}
+}
+
+func TestAllowedStringsRespectsImplications(t *testing.T) {
+	cs := parseConstraints(t, "string alg;\nstring mode;",
+		`alg in {"AES"} => mode in {"GCM", "CTR"};
+alg in {"RSA"} => mode in {"OAEP"};`)
+	env := envWith(map[string]Value{"alg": StrVal("AES")})
+	got := AllowedStrings("mode", cs, env)
+	if len(got) != 2 || got[0] != "GCM" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAllowedInts(t *testing.T) {
+	cs := parseConstraints(t, "int size;", "size in {256, 128, 192};")
+	got := AllowedInts("size", cs, &Env{})
+	if len(got) != 3 || got[0] != 128 || got[2] != 256 {
+		t.Fatalf("got %v (want ascending)", got)
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	cs := parseConstraints(t, "string a;\nint b;\n[]byte c;",
+		`a in {"x"} => b >= 1 && length[c] >= 16;`)
+	vars := Vars(cs[0])
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(vars) != 3 {
+		t.Fatalf("got %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected var %q", v)
+		}
+	}
+}
+
+func TestValueEqualAndString(t *testing.T) {
+	if !IntVal(5).Equal(IntVal(5)) || IntVal(5).Equal(IntVal(6)) {
+		t.Error("int equality")
+	}
+	if IntVal(5).Equal(StrVal("5")) {
+		t.Error("cross-kind equality")
+	}
+	if Unknown.Equal(Unknown) {
+		t.Error("unknown equals nothing, not even itself")
+	}
+	if StrVal("x").String() != `"x"` || IntVal(7).String() != "7" || BoolVal(true).String() != "true" {
+		t.Error("string rendering")
+	}
+	if Unknown.String() != "<unknown>" {
+		t.Error("unknown rendering")
+	}
+}
+
+func TestFromLiteral(t *testing.T) {
+	cases := []struct {
+		lit  ast.Literal
+		want Value
+	}{
+		{ast.Literal{Kind: token.INT, Int: 9}, IntVal(9)},
+		{ast.Literal{Kind: token.STRING, Str: "s"}, StrVal("s")},
+		{ast.Literal{Kind: token.BOOL, Bool: true}, BoolVal(true)},
+	}
+	for _, c := range cases {
+		if got := FromLiteral(c.lit); !got.Equal(c.want) {
+			t.Errorf("FromLiteral(%v) = %v", c.lit, got)
+		}
+	}
+}
+
+// TestQuickDeriveSatisfies: any value Derive produces must make the
+// deriving constraint evaluate to True.
+func TestQuickDeriveSatisfies(t *testing.T) {
+	f := func(bound int32, geq bool) bool {
+		op := "<="
+		if geq {
+			op = ">="
+		}
+		c := &ast.Rel{
+			Op:  map[bool]token.Kind{true: token.GEQ, false: token.LEQ}[geq],
+			LHS: &ast.VarRef{Name: "n"},
+			RHS: &ast.Literal{Kind: token.INT, Int: int64(bound)},
+		}
+		_ = op
+		v, ok := Derive("n", []ast.Constraint{c}, &Env{})
+		if !ok {
+			return false
+		}
+		env := envWith(map[string]Value{"n": v})
+		return Eval(c, env) == True
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTriLogic: three-valued && and || must degrade to boolean logic
+// on known inputs.
+func TestQuickTriLogic(t *testing.T) {
+	f := func(a, b bool) bool {
+		ca := &ast.Rel{Op: token.EQ, LHS: &ast.Literal{Kind: token.BOOL, Bool: a}, RHS: &ast.Literal{Kind: token.BOOL, Bool: true}}
+		cb := &ast.Rel{Op: token.EQ, LHS: &ast.Literal{Kind: token.BOOL, Bool: b}, RHS: &ast.Literal{Kind: token.BOOL, Bool: true}}
+		and := &ast.BoolCombo{Op: token.AND, LHS: ca, RHS: cb}
+		or := &ast.BoolCombo{Op: token.OROR, LHS: ca, RHS: cb}
+		env := &Env{}
+		wantAnd := map[bool]Tri{true: True, false: False}[a && b]
+		wantOr := map[bool]Tri{true: True, false: False}[a || b]
+		return Eval(and, env) == wantAnd && Eval(or, env) == wantOr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package constraint
+
+import (
+	"sort"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/token"
+)
+
+// Derive computes a secure concrete value for variable name from the rule's
+// constraint list, implementing the paper's parameter-resolution heuristics
+// (§3.3, step ④):
+//
+//   - For value constraints "var in {L1, ..., Ln}" it selects the first
+//     option L1 (the rule author orders literals by preference, per the
+//     paper's §4 rule-set adjustment).
+//   - For relational constraints it generates the closest value that
+//     satisfies the bound (e.g. ">= 10000" yields 10000).
+//   - For implications, the consequent is only consulted when the antecedent
+//     is already satisfied (or could be satisfied) under the partial
+//     assignment env built up so far.
+//
+// The boolean result reports whether a value could be derived.
+func Derive(name string, constraints []ast.Constraint, env *Env) (Value, bool) {
+	// First pass: direct in-set constraints, in declaration order.
+	for _, c := range constraints {
+		if v, ok := deriveFrom(name, c, env); ok {
+			return v, true
+		}
+	}
+	return Unknown, false
+}
+
+func deriveFrom(name string, c ast.Constraint, env *Env) (Value, bool) {
+	switch c := c.(type) {
+	case *ast.InSet:
+		if c.Negate || len(c.Lits) == 0 {
+			return Unknown, false
+		}
+		if ref, ok := c.Val.(*ast.VarRef); ok && ref.Name == name {
+			// Honour already-fixed values of other constraints: pick the
+			// first literal that does not contradict env (env never binds
+			// `name` itself when Derive is called).
+			return FromLiteral(c.Lits[0]), true
+		}
+		return Unknown, false
+
+	case *ast.Rel:
+		ref, ok := c.LHS.(*ast.VarRef)
+		if !ok || ref.Name != name {
+			return Unknown, false
+		}
+		lit, ok := c.RHS.(*ast.Literal)
+		if !ok || lit.Kind != token.INT {
+			return Unknown, false
+		}
+		switch c.Op {
+		case token.GEQ:
+			return IntVal(lit.Int), true
+		case token.GT:
+			return IntVal(lit.Int + 1), true
+		case token.LEQ:
+			return IntVal(lit.Int), true
+		case token.LT:
+			return IntVal(lit.Int - 1), true
+		case token.EQ:
+			return IntVal(lit.Int), true
+		}
+		return Unknown, false
+
+	case *ast.Implies:
+		// Only follow the consequent when the antecedent currently holds.
+		if Eval(c.Antecedent, env) == True {
+			return deriveFrom(name, c.Consequent, env)
+		}
+		return Unknown, false
+
+	case *ast.BoolCombo:
+		if c.Op == token.AND {
+			if v, ok := deriveFrom(name, c.LHS, env); ok {
+				return v, true
+			}
+			return deriveFrom(name, c.RHS, env)
+		}
+		// For ||, first satisfiable branch wins.
+		if v, ok := deriveFrom(name, c.LHS, env); ok {
+			return v, true
+		}
+		return deriveFrom(name, c.RHS, env)
+	}
+	return Unknown, false
+}
+
+// AllowedStrings collects, for variable name, the literal strings permitted
+// by in-set constraints under env; implications whose antecedent is False
+// are skipped, and implications whose antecedent is True or Maybe
+// contribute. The result is deduplicated, preserving first-seen order.
+func AllowedStrings(name string, constraints []ast.Constraint, env *Env) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(c ast.Constraint)
+	walk = func(c ast.Constraint) {
+		switch c := c.(type) {
+		case *ast.InSet:
+			ref, ok := c.Val.(*ast.VarRef)
+			if !ok || ref.Name != name || c.Negate {
+				return
+			}
+			for _, lit := range c.Lits {
+				if lit.Kind == token.STRING && !seen[lit.Str] {
+					seen[lit.Str] = true
+					out = append(out, lit.Str)
+				}
+			}
+		case *ast.Implies:
+			if Eval(c.Antecedent, env) != False {
+				walk(c.Consequent)
+			}
+		case *ast.BoolCombo:
+			walk(c.LHS)
+			walk(c.RHS)
+		}
+	}
+	for _, c := range constraints {
+		walk(c)
+	}
+	return out
+}
+
+// AllowedInts collects the integer literals permitted for name by in-set
+// constraints, sorted ascending.
+func AllowedInts(name string, constraints []ast.Constraint, env *Env) []int64 {
+	var out []int64
+	seen := map[int64]bool{}
+	var walk func(c ast.Constraint)
+	walk = func(c ast.Constraint) {
+		switch c := c.(type) {
+		case *ast.InSet:
+			ref, ok := c.Val.(*ast.VarRef)
+			if !ok || ref.Name != name || c.Negate {
+				return
+			}
+			for _, lit := range c.Lits {
+				if lit.Kind == token.INT && !seen[lit.Int] {
+					seen[lit.Int] = true
+					out = append(out, lit.Int)
+				}
+			}
+		case *ast.Implies:
+			if Eval(c.Antecedent, env) != False {
+				walk(c.Consequent)
+			}
+		case *ast.BoolCombo:
+			walk(c.LHS)
+			walk(c.RHS)
+		}
+	}
+	for _, c := range constraints {
+		walk(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,44 @@
+package constraint_test
+
+import (
+	"fmt"
+
+	"cognicryptgen/crysl/constraint"
+	"cognicryptgen/crysl/parser"
+)
+
+// ExampleDerive shows the generator's secure-value heuristics (paper
+// §3.3): the first literal of a preference-ordered set, and the closest
+// value satisfying a bound.
+func ExampleDerive() {
+	rule, _ := parser.Parse(`SPEC T
+OBJECTS
+    int iterationCount;
+    string alg;
+CONSTRAINTS
+    iterationCount >= 10000;
+    alg in {"PBKDF2WithHmacSHA256", "PBKDF2WithHmacSHA512"};
+`)
+	iters, _ := constraint.Derive("iterationCount", rule.Constraints, &constraint.Env{})
+	alg, _ := constraint.Derive("alg", rule.Constraints, &constraint.Env{})
+	fmt.Println(iters, alg)
+	// Output:
+	// 10000 "PBKDF2WithHmacSHA256"
+}
+
+// ExampleEval shows three-valued evaluation: known violations are False,
+// missing information is Maybe.
+func ExampleEval() {
+	rule, _ := parser.Parse(`SPEC T
+OBJECTS
+    int n;
+CONSTRAINTS
+    n >= 10000;
+`)
+	c := rule.Constraints[0]
+	weak := &constraint.Env{Vars: map[string]constraint.Value{"n": constraint.IntVal(100)}}
+	unknown := &constraint.Env{}
+	fmt.Println(constraint.Eval(c, weak), constraint.Eval(c, unknown))
+	// Output:
+	// false maybe
+}

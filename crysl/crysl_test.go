@@ -1,0 +1,210 @@
+package crysl
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+const specSrc = `SPEC gca.Widget
+OBJECTS
+    int size;
+    []byte out;
+EVENTS
+    c1: NewWidget(size);
+    u1: Use();
+    u2: UseHard();
+    use := u1 | u2;
+    f1: out := Finish();
+ORDER
+    c1, use*, f1
+CONSTRAINTS
+    size in {1, 2};
+REQUIRES
+    ready[out];
+ENSURES
+    made[this, size] after c1;
+    finished[out] after f1;
+NEGATES
+    made[this, _] after f1;
+`
+
+func compileWidget(t *testing.T) *Rule {
+	t.Helper()
+	r, err := ParseRule("widget.crysl", specSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseRuleBasics(t *testing.T) {
+	r := compileWidget(t)
+	if r.SpecType() != "gca.Widget" || r.Name() != "Widget" {
+		t.Errorf("names: %s / %s", r.SpecType(), r.Name())
+	}
+	if len(r.Events) != 4 { // concrete events only
+		t.Errorf("concrete events: %d", len(r.Events))
+	}
+	if _, ok := r.Event("use"); ok {
+		t.Error("aggregate must not appear in concrete event table")
+	}
+}
+
+func TestAggregateExpansion(t *testing.T) {
+	r := compileWidget(t)
+	got := r.ExpandLabel("use")
+	if len(got) != 2 || got[0] != "u1" || got[1] != "u2" {
+		t.Errorf("expansion: %v", got)
+	}
+	if got := r.ExpandLabel("c1"); len(got) != 1 || got[0] != "c1" {
+		t.Errorf("concrete label expansion: %v", got)
+	}
+}
+
+func TestNestedAggregates(t *testing.T) {
+	src := `SPEC T
+EVENTS
+    a: A();
+    b: B();
+    c: C();
+    inner := a | b;
+    outer := inner | c;
+ORDER
+    outer
+`
+	r, err := ParseRule("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.ExpandLabel("outer")
+	if len(got) != 3 {
+		t.Fatalf("nested expansion: %v", got)
+	}
+	for _, l := range []string{"a", "b", "c"} {
+		if !r.DFA.Accepts([]string{l}) {
+			t.Errorf("DFA should accept %q via nested aggregate", l)
+		}
+	}
+}
+
+func TestDFAAndNFARetained(t *testing.T) {
+	r := compileWidget(t)
+	seqs := [][]string{{"c1", "f1"}, {"c1", "u1", "f1"}, {"c1", "u2", "u1", "f1"}}
+	for _, s := range seqs {
+		if !r.DFA.Accepts(s) || !r.NFA.Accepts(s) {
+			t.Errorf("sequence %v should be accepted by both automata", s)
+		}
+	}
+	if r.DFA.Accepts([]string{"f1"}) {
+		t.Error("f1 without constructor accepted")
+	}
+}
+
+func TestEnsuredAfterAndUnconditional(t *testing.T) {
+	r := compileWidget(t)
+	after := r.EnsuredAfter("c1")
+	if len(after) != 1 || after[0].Name != "made" {
+		t.Errorf("EnsuredAfter(c1): %v", after)
+	}
+	if got := r.EnsuredAfter("u1"); len(got) != 0 {
+		t.Errorf("EnsuredAfter(u1): %v", got)
+	}
+	if got := r.UnconditionalEnsures(); len(got) != 0 {
+		t.Errorf("unconditional: %v", got)
+	}
+}
+
+func TestNegatingLabels(t *testing.T) {
+	r := compileWidget(t)
+	neg := r.NegatingLabels()
+	if !neg["f1"] || len(neg) != 1 {
+		t.Errorf("negating labels: %v", neg)
+	}
+}
+
+func TestLabelsForMethod(t *testing.T) {
+	r := compileWidget(t)
+	if got := r.LabelsForMethod("Use"); len(got) != 1 || got[0] != "u1" {
+		t.Errorf("LabelsForMethod(Use): %v", got)
+	}
+	if got := r.LabelsForMethod("Nope"); len(got) != 0 {
+		t.Errorf("unknown method: %v", got)
+	}
+}
+
+func TestRuleSetLookups(t *testing.T) {
+	set := NewRuleSet()
+	r := compileWidget(t)
+	if err := set.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add(r); err == nil {
+		t.Error("duplicate Add must fail")
+	}
+	if _, ok := set.Get("gca.Widget"); !ok {
+		t.Error("qualified lookup failed")
+	}
+	if _, ok := set.Get("Widget"); !ok {
+		t.Error("unqualified lookup failed")
+	}
+	if _, ok := set.Get("Gadget"); ok {
+		t.Error("unknown lookup succeeded")
+	}
+	if set.Len() != 1 || len(set.Types()) != 1 || len(set.Rules()) != 1 {
+		t.Error("set accessors inconsistent")
+	}
+}
+
+func TestProducers(t *testing.T) {
+	set := NewRuleSet()
+	if err := set.Add(compileWidget(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Producers("made"); len(got) != 1 {
+		t.Errorf("producers of made: %d", len(got))
+	}
+	if got := set.Producers("unknown"); len(got) != 0 {
+		t.Errorf("producers of unknown predicate: %d", len(got))
+	}
+}
+
+func TestLoadFS(t *testing.T) {
+	fsys := fstest.MapFS{
+		"rules/a.crysl":     {Data: []byte(specSrc)},
+		"rules/b.crysl":     {Data: []byte(strings.Replace(specSrc, "gca.Widget", "gca.Gadget", 1))},
+		"rules/ignored.txt": {Data: []byte("not a rule")},
+	}
+	set, err := LoadFS(fsys, "rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("loaded %d rules", set.Len())
+	}
+	// Deterministic order: sorted by path.
+	if types := set.Types(); types[0] != "gca.Widget" || types[1] != "gca.Gadget" {
+		t.Errorf("order: %v", types)
+	}
+}
+
+func TestLoadFSReportsBrokenRule(t *testing.T) {
+	fsys := fstest.MapFS{
+		"r/bad.crysl":  {Data: []byte("SPEC\n???")},
+		"r/good.crysl": {Data: []byte(specSrc)},
+	}
+	set, err := LoadFS(fsys, "r")
+	if err == nil {
+		t.Fatal("broken rule must surface an error")
+	}
+	if set.Len() != 1 {
+		t.Errorf("good rule should still load: %d", set.Len())
+	}
+}
+
+func TestParseRuleSemanticFailure(t *testing.T) {
+	_, err := ParseRule("x", "SPEC T\nEVENTS\n c: New(ghost);\n")
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("semantic failure not propagated: %v", err)
+	}
+}

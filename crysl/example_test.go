@@ -1,0 +1,62 @@
+package crysl_test
+
+import (
+	"fmt"
+
+	"cognicryptgen/crysl"
+)
+
+// ExampleParseRule shows compiling a rule and inspecting its order
+// automaton.
+func ExampleParseRule() {
+	rule, err := crysl.ParseRule("demo.crysl", `SPEC gca.Demo
+OBJECTS
+    int size;
+EVENTS
+    c: NewDemo(size);
+    u: Use();
+ORDER
+    c, u?
+CONSTRAINTS
+    size in {128, 256};
+ENSURES
+    demoReady[this] after c;
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("spec:", rule.SpecType())
+	fmt.Println("accepts [c]:", rule.DFA.Accepts([]string{"c"}))
+	fmt.Println("accepts [u]:", rule.DFA.Accepts([]string{"u"}))
+	for _, p := range rule.DFA.AcceptingPaths(0) {
+		fmt.Println("path:", p)
+	}
+	// Output:
+	// spec: gca.Demo
+	// accepts [c]: true
+	// accepts [u]: false
+	// path: [c]
+	// path: [c u]
+}
+
+// ExampleRuleSet_Producers shows predicate-producer lookup, the mechanism
+// behind the generator's rule linking.
+func ExampleRuleSet_Producers() {
+	set := crysl.NewRuleSet()
+	salt, _ := crysl.ParseRule("random.crysl", `SPEC gca.Random
+OBJECTS
+    []byte out;
+EVENTS
+    n: Next(out);
+ORDER
+    n
+ENSURES
+    randomized[out] after n;
+`)
+	_ = set.Add(salt)
+	producers := set.Producers("randomized")
+	fmt.Println(len(producers), producers[0].SpecType())
+	// Output:
+	// 1 gca.Random
+}

@@ -1,0 +1,148 @@
+// Package format pretty-prints GoCrySL rules in canonical form — the
+// "gofmt for rules" piece of tooling the CogniCrypt ecosystem story
+// implies: specifications are first-class artefacts that deserve the same
+// hygiene as code. The printer is the inverse of the parser: parsing the
+// output yields a structurally identical rule (asserted by round-trip
+// tests).
+package format
+
+import (
+	"fmt"
+	"strings"
+
+	"cognicryptgen/crysl/ast"
+)
+
+// Rule renders a rule in canonical GoCrySL form: sections in the fixed
+// SPEC, OBJECTS, FORBIDDEN, EVENTS, ORDER, CONSTRAINTS, REQUIRES, ENSURES,
+// NEGATES order, four-space indentation, one declaration per line. Empty
+// sections are omitted.
+func Rule(r *ast.Rule) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SPEC %s\n", r.SpecType)
+
+	if len(r.Objects) > 0 {
+		sb.WriteString("\nOBJECTS\n")
+		for _, o := range r.Objects {
+			fmt.Fprintf(&sb, "    %s %s;\n", o.Type, o.Name)
+		}
+	}
+	if len(r.Forbidden) > 0 {
+		sb.WriteString("\nFORBIDDEN\n")
+		for _, f := range r.Forbidden {
+			sb.WriteString("    " + forbidden(f) + ";\n")
+		}
+	}
+	if len(r.Events) > 0 {
+		sb.WriteString("\nEVENTS\n")
+		for _, e := range r.Events {
+			sb.WriteString("    " + event(e) + ";\n")
+		}
+	}
+	if r.Order != nil {
+		sb.WriteString("\nORDER\n")
+		sb.WriteString("    " + Order(r.Order) + "\n")
+	}
+	if len(r.Constraints) > 0 {
+		sb.WriteString("\nCONSTRAINTS\n")
+		for _, c := range r.Constraints {
+			fmt.Fprintf(&sb, "    %s;\n", c)
+		}
+	}
+	if len(r.Requires) > 0 {
+		sb.WriteString("\nREQUIRES\n")
+		for _, p := range r.Requires {
+			fmt.Fprintf(&sb, "    %s;\n", p)
+		}
+	}
+	if len(r.Ensures) > 0 {
+		sb.WriteString("\nENSURES\n")
+		for _, p := range r.Ensures {
+			fmt.Fprintf(&sb, "    %s;\n", p)
+		}
+	}
+	if len(r.Negates) > 0 {
+		sb.WriteString("\nNEGATES\n")
+		for _, p := range r.Negates {
+			fmt.Fprintf(&sb, "    %s;\n", p)
+		}
+	}
+	return sb.String()
+}
+
+func forbidden(f *ast.ForbiddenEvent) string {
+	s := f.Method
+	if f.HasParams {
+		parts := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			parts[i] = p.String()
+		}
+		s += "(" + strings.Join(parts, ", ") + ")"
+	}
+	if f.Replacement != "" {
+		s += " => " + f.Replacement
+	}
+	return s
+}
+
+func event(e *ast.EventDecl) string {
+	if e.IsAggregate() {
+		return e.Label + " := " + strings.Join(e.Aggregate, " | ")
+	}
+	s := e.Label + ": "
+	if e.Pattern.Result != "" {
+		s += e.Pattern.Result + " := "
+	}
+	parts := make([]string, len(e.Pattern.Params))
+	for i, p := range e.Pattern.Params {
+		parts[i] = p.String()
+	}
+	return s + e.Pattern.Method + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Order renders an ORDER expression with minimal parentheses: sequence
+// binds tighter than alternation (matching the parser's grammar), and
+// repetition operands are parenthesised unless they are plain references.
+func Order(e ast.OrderExpr) string {
+	return orderExpr(e, precAlt)
+}
+
+// Precedence levels: alternation < sequence < repetition operand.
+const (
+	precAlt = iota
+	precSeq
+	precUnit
+)
+
+func orderExpr(e ast.OrderExpr, ctx int) string {
+	switch e := e.(type) {
+	case *ast.OrderRef:
+		return e.Label
+	case *ast.OrderSeq:
+		parts := make([]string, len(e.Parts))
+		for i, p := range e.Parts {
+			parts[i] = orderExpr(p, precSeq)
+		}
+		s := strings.Join(parts, ", ")
+		if ctx > precAlt && len(e.Parts) > 1 {
+			// A sequence appearing where a unit is expected needs parens.
+			if ctx == precUnit {
+				return "(" + s + ")"
+			}
+		}
+		return s
+	case *ast.OrderAlt:
+		parts := make([]string, len(e.Parts))
+		for i, p := range e.Parts {
+			parts[i] = orderExpr(p, precSeq)
+		}
+		s := strings.Join(parts, " | ")
+		if ctx > precAlt {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.OrderRep:
+		return orderExpr(e.Sub, precUnit) + e.Op.String()
+	}
+	return "<?>"
+}

@@ -1,0 +1,133 @@
+package format
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/fsm"
+	"cognicryptgen/crysl/parser"
+	"cognicryptgen/rules"
+)
+
+// TestRoundTripAllEmbeddedRules: printing a parsed rule and re-parsing the
+// output must be (a) idempotent under a second print and (b) preserve the
+// ORDER language, checked via DFA path enumeration.
+func TestRoundTripAllEmbeddedRules(t *testing.T) {
+	srcs, err := rules.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range srcs {
+		orig, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		printed := Rule(orig)
+		reparsed, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: canonical output does not parse: %v\n%s", name, err, printed)
+		}
+		if again := Rule(reparsed); again != printed {
+			t.Errorf("%s: printing is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", name, printed, again)
+		}
+		if orig.SpecType != reparsed.SpecType ||
+			len(orig.Objects) != len(reparsed.Objects) ||
+			len(orig.Events) != len(reparsed.Events) ||
+			len(orig.Constraints) != len(reparsed.Constraints) ||
+			len(orig.Requires) != len(reparsed.Requires) ||
+			len(orig.Ensures) != len(reparsed.Ensures) ||
+			len(orig.Negates) != len(reparsed.Negates) ||
+			len(orig.Forbidden) != len(reparsed.Forbidden) {
+			t.Errorf("%s: structure changed across round trip", name)
+		}
+		// ORDER language preservation: same accepting paths.
+		if orig.Order != nil {
+			aggA := map[string][]string{}
+			aggB := map[string][]string{}
+			for _, e := range orig.Events {
+				if e.IsAggregate() {
+					aggA[e.Label] = e.Aggregate
+				}
+			}
+			for _, e := range reparsed.Events {
+				if e.IsAggregate() {
+					aggB[e.Label] = e.Aggregate
+				}
+			}
+			pa := fsm.Compile(orig.Order, aggA).AcceptingPaths(128)
+			pb := fsm.Compile(reparsed.Order, aggB).AcceptingPaths(128)
+			if len(pa) != len(pb) {
+				t.Errorf("%s: ORDER language changed: %d vs %d paths", name, len(pa), len(pb))
+				continue
+			}
+			for i := range pa {
+				if strings.Join(pa[i], ",") != strings.Join(pb[i], ",") {
+					t.Errorf("%s: path %d differs: %v vs %v", name, i, pa[i], pb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOrderPrecedenceRendering(t *testing.T) {
+	ref := func(l string) ast.OrderExpr { return &ast.OrderRef{Label: l} }
+	cases := []struct {
+		expr ast.OrderExpr
+		want string
+	}{
+		{&ast.OrderSeq{Parts: []ast.OrderExpr{ref("a"), ref("b")}}, "a, b"},
+		{&ast.OrderAlt{Parts: []ast.OrderExpr{ref("a"), ref("b")}}, "a | b"},
+		{&ast.OrderRep{Sub: ref("a"), Op: ast.RepOpt}, "a?"},
+		{&ast.OrderRep{Sub: &ast.OrderSeq{Parts: []ast.OrderExpr{ref("a"), ref("b")}}, Op: ast.RepStar}, "(a, b)*"},
+		{&ast.OrderRep{Sub: &ast.OrderAlt{Parts: []ast.OrderExpr{ref("a"), ref("b")}}, Op: ast.RepPlus}, "(a | b)+"},
+		{&ast.OrderSeq{Parts: []ast.OrderExpr{
+			ref("c"),
+			&ast.OrderAlt{Parts: []ast.OrderExpr{ref("a"), ref("b")}},
+		}}, "c, (a | b)"},
+	}
+	for _, c := range cases {
+		if got := Order(c.expr); got != c.want {
+			t.Errorf("Order(%s) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestOrderRenderingReparses(t *testing.T) {
+	// Every rendered ORDER must parse back to the same language.
+	srcs, err := rules.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range srcs {
+		r, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Order == nil {
+			continue
+		}
+		rendered := Order(r.Order)
+		wrapped := "SPEC T\nEVENTS\n"
+		for _, e := range r.Events {
+			wrapped += "    " + event(e) + ";\n"
+		}
+		wrapped += "ORDER\n    " + rendered + "\n"
+		if _, err := parser.Parse(wrapped); err != nil {
+			t.Errorf("%s: rendered ORDER %q does not re-parse: %v", name, rendered, err)
+		}
+	}
+}
+
+func TestEmptySectionsOmitted(t *testing.T) {
+	r, err := parser.Parse("SPEC gca.X\nEVENTS\n    c: New();\nORDER\n    c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Rule(r)
+	for _, absent := range []string{"OBJECTS", "CONSTRAINTS", "REQUIRES", "ENSURES", "NEGATES", "FORBIDDEN"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("empty section %s printed:\n%s", absent, out)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package fsm compiles GoCrySL ORDER expressions into finite state machines
+// and enumerates accepting call paths.
+//
+// The compilation follows the classic Thompson construction from the ORDER
+// regular expression to an epsilon-NFA, followed by subset construction to a
+// DFA. The DFA serves two clients:
+//
+//   - the code generator, which enumerates accepting paths (CGO 2020, §3.3,
+//     step ③), and
+//   - the static analyzer, which simulates the DFA over observed call
+//     sequences to detect typestate errors.
+//
+// Alphabet symbols are event labels after aggregate expansion; aggregates
+// are expanded to alternations before construction.
+package fsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cognicryptgen/crysl/ast"
+)
+
+// NFA is an epsilon-NFA over event-label symbols.
+type NFA struct {
+	// Start and Accept are state IDs. States are 0..NumStates-1.
+	Start     int
+	Accept    int
+	NumStates int
+	// Trans[s][sym] is the set of successor states of s on symbol sym.
+	// Epsilon transitions use the empty string as symbol.
+	Trans []map[string][]int
+}
+
+const epsilon = ""
+
+func (n *NFA) newState() int {
+	n.Trans = append(n.Trans, map[string][]int{})
+	n.NumStates++
+	return n.NumStates - 1
+}
+
+func (n *NFA) addTrans(from int, sym string, to int) {
+	n.Trans[from][sym] = append(n.Trans[from][sym], to)
+}
+
+// frag is an NFA fragment with a single start and single accept state.
+type frag struct{ start, accept int }
+
+// aggregates maps an aggregate label to its member labels; members may
+// themselves be aggregates (resolved recursively with cycle detection by the
+// semantic checker before reaching here).
+type aggregates map[string][]string
+
+// CompileNFA builds an epsilon-NFA from an ORDER expression. agg maps
+// aggregate labels to their member labels. A nil expression yields an
+// automaton accepting only the empty sequence.
+func CompileNFA(expr ast.OrderExpr, agg map[string][]string) *NFA {
+	n := &NFA{}
+	if expr == nil {
+		s := n.newState()
+		n.Start, n.Accept = s, s
+		return n
+	}
+	f := n.compile(expr, aggregates(agg))
+	n.Start, n.Accept = f.start, f.accept
+	return n
+}
+
+func (n *NFA) compile(expr ast.OrderExpr, agg aggregates) frag {
+	switch e := expr.(type) {
+	case *ast.OrderRef:
+		if members, ok := agg[e.Label]; ok {
+			// Aggregate label: alternation over members.
+			start := n.newState()
+			accept := n.newState()
+			for _, m := range members {
+				sub := n.compile(&ast.OrderRef{Label: m}, agg)
+				n.addTrans(start, epsilon, sub.start)
+				n.addTrans(sub.accept, epsilon, accept)
+			}
+			return frag{start, accept}
+		}
+		start := n.newState()
+		accept := n.newState()
+		n.addTrans(start, e.Label, accept)
+		return frag{start, accept}
+
+	case *ast.OrderSeq:
+		cur := n.compile(e.Parts[0], agg)
+		for _, part := range e.Parts[1:] {
+			next := n.compile(part, agg)
+			n.addTrans(cur.accept, epsilon, next.start)
+			cur = frag{cur.start, next.accept}
+		}
+		return cur
+
+	case *ast.OrderAlt:
+		start := n.newState()
+		accept := n.newState()
+		for _, part := range e.Parts {
+			sub := n.compile(part, agg)
+			n.addTrans(start, epsilon, sub.start)
+			n.addTrans(sub.accept, epsilon, accept)
+		}
+		return frag{start, accept}
+
+	case *ast.OrderRep:
+		sub := n.compile(e.Sub, agg)
+		start := n.newState()
+		accept := n.newState()
+		n.addTrans(start, epsilon, sub.start)
+		n.addTrans(sub.accept, epsilon, accept)
+		switch e.Op {
+		case ast.RepOpt:
+			n.addTrans(start, epsilon, accept)
+		case ast.RepStar:
+			n.addTrans(start, epsilon, accept)
+			n.addTrans(sub.accept, epsilon, sub.start)
+		case ast.RepPlus:
+			n.addTrans(sub.accept, epsilon, sub.start)
+		}
+		return frag{start, accept}
+	}
+	panic(fmt.Sprintf("fsm: unknown order expression %T", expr))
+}
+
+func (n *NFA) epsilonClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Trans[s][epsilon] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StartSet returns the epsilon closure of the start state, for external
+// incremental simulation.
+func (n *NFA) StartSet() []int { return n.epsilonClosure([]int{n.Start}) }
+
+// StepSet advances a state set on one symbol and returns the closed
+// successor set; an empty result means the transition is dead.
+func (n *NFA) StepSet(set []int, sym string) []int {
+	var next []int
+	for _, s := range set {
+		next = append(next, n.Trans[s][sym]...)
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return n.epsilonClosure(next)
+}
+
+// AcceptingSet reports whether a state set contains the accept state.
+func (n *NFA) AcceptingSet(set []int) bool {
+	for _, s := range set {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+// Accepts reports whether the NFA accepts the given label sequence, using
+// direct NFA simulation. It exists mainly as an oracle for testing the DFA
+// construction and for the DFA-vs-NFA ablation benchmark.
+func (n *NFA) Accepts(seq []string) bool {
+	cur := n.epsilonClosure([]int{n.Start})
+	for _, sym := range seq {
+		var next []int
+		for _, s := range cur {
+			next = append(next, n.Trans[s][sym]...)
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = n.epsilonClosure(next)
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+// DFA is a deterministic automaton over event-label symbols.
+type DFA struct {
+	Start     int
+	NumStates int
+	Accepting []bool
+	// Trans[s] maps a symbol to the successor state. Missing symbol =
+	// rejection (dead transition).
+	Trans []map[string]int
+	// Alphabet is the sorted set of symbols with at least one transition.
+	Alphabet []string
+}
+
+// Determinize converts the NFA to a DFA via subset construction.
+func Determinize(n *NFA) *DFA {
+	type key = string
+	stateKey := func(set []int) key {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = fmt.Sprint(s)
+		}
+		return strings.Join(parts, ",")
+	}
+
+	symbols := map[string]bool{}
+	for _, trans := range n.Trans {
+		for sym := range trans {
+			if sym != epsilon {
+				symbols[sym] = true
+			}
+		}
+	}
+	alphabet := make([]string, 0, len(symbols))
+	for sym := range symbols {
+		alphabet = append(alphabet, sym)
+	}
+	sort.Strings(alphabet)
+
+	d := &DFA{Alphabet: alphabet}
+	startSet := n.epsilonClosure([]int{n.Start})
+	ids := map[key]int{}
+	var sets [][]int
+
+	addState := func(set []int) int {
+		k := stateKey(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(sets)
+		ids[k] = id
+		sets = append(sets, set)
+		d.Trans = append(d.Trans, map[string]int{})
+		accepting := false
+		for _, s := range set {
+			if s == n.Accept {
+				accepting = true
+				break
+			}
+		}
+		d.Accepting = append(d.Accepting, accepting)
+		return id
+	}
+
+	d.Start = addState(startSet)
+	for work := []int{d.Start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		set := sets[id]
+		for _, sym := range alphabet {
+			var next []int
+			for _, s := range set {
+				next = append(next, n.Trans[s][sym]...)
+			}
+			if len(next) == 0 {
+				continue
+			}
+			closed := n.epsilonClosure(next)
+			before := len(sets)
+			tid := addState(closed)
+			if tid == before {
+				work = append(work, tid)
+			}
+			d.Trans[id][sym] = tid
+		}
+	}
+	d.NumStates = len(sets)
+	return d
+}
+
+// Compile builds the DFA for an ORDER expression in one step.
+func Compile(expr ast.OrderExpr, agg map[string][]string) *DFA {
+	return Determinize(CompileNFA(expr, agg))
+}
+
+// Accepts reports whether the DFA accepts the label sequence.
+func (d *DFA) Accepts(seq []string) bool {
+	s := d.Start
+	for _, sym := range seq {
+		t, ok := d.Trans[s][sym]
+		if !ok {
+			return false
+		}
+		s = t
+	}
+	return d.Accepting[s]
+}
+
+// Step advances from state s on sym. ok is false on a dead transition.
+func (d *DFA) Step(s int, sym string) (next int, ok bool) {
+	t, ok := d.Trans[s][sym]
+	return t, ok
+}
+
+// AcceptingPaths enumerates label sequences accepted by the DFA, visiting
+// each DFA state at most once per path (i.e. simple paths). This mirrors the
+// paper's treatment of repetition: a method that may be called multiple
+// times is expanded into "not called" and "called once" variants, and
+// repeated calls are not generated (§3.3). maxPaths bounds the enumeration;
+// 0 means no bound.
+func (d *DFA) AcceptingPaths(maxPaths int) [][]string {
+	var out [][]string
+	onPath := make([]bool, d.NumStates)
+	var path []string
+
+	var visit func(s int) bool // returns false when the bound is hit
+	visit = func(s int) bool {
+		if maxPaths > 0 && len(out) >= maxPaths {
+			return false
+		}
+		if d.Accepting[s] {
+			out = append(out, append([]string(nil), path...))
+			if maxPaths > 0 && len(out) >= maxPaths {
+				return false
+			}
+		}
+		onPath[s] = true
+		defer func() { onPath[s] = false }()
+		// Deterministic order for reproducible generation.
+		syms := make([]string, 0, len(d.Trans[s]))
+		for sym := range d.Trans[s] {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			t := d.Trans[s][sym]
+			if onPath[t] {
+				continue // would repeat a call cycle; skip per paper §3.3
+			}
+			path = append(path, sym)
+			ok := visit(t)
+			path = path[:len(path)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	visit(d.Start)
+
+	// Shortest-first, then lexicographic, so downstream "pick the shortest"
+	// selection is stable.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// String renders the DFA transition table for diagnostics.
+func (d *DFA) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DFA start=%d states=%d\n", d.Start, d.NumStates)
+	for s := 0; s < d.NumStates; s++ {
+		mark := " "
+		if d.Accepting[s] {
+			mark = "*"
+		}
+		syms := make([]string, 0, len(d.Trans[s]))
+		for sym := range d.Trans[s] {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			fmt.Fprintf(&sb, "%s%d --%s--> %d\n", mark, s, sym, d.Trans[s][sym])
+		}
+		if len(syms) == 0 {
+			fmt.Fprintf(&sb, "%s%d\n", mark, s)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,244 @@
+package fsm
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cognicryptgen/crysl/ast"
+)
+
+// ref builds an OrderRef.
+func ref(l string) ast.OrderExpr { return &ast.OrderRef{Label: l} }
+
+func seq(parts ...ast.OrderExpr) ast.OrderExpr { return &ast.OrderSeq{Parts: parts} }
+func alt(parts ...ast.OrderExpr) ast.OrderExpr { return &ast.OrderAlt{Parts: parts} }
+func opt(e ast.OrderExpr) ast.OrderExpr        { return &ast.OrderRep{Sub: e, Op: ast.RepOpt} }
+func star(e ast.OrderExpr) ast.OrderExpr       { return &ast.OrderRep{Sub: e, Op: ast.RepStar} }
+func plus(e ast.OrderExpr) ast.OrderExpr       { return &ast.OrderRep{Sub: e, Op: ast.RepPlus} }
+
+func TestSequence(t *testing.T) {
+	d := Compile(seq(ref("a"), ref("b")), nil)
+	accepted := [][]string{{"a", "b"}}
+	rejected := [][]string{{}, {"a"}, {"b"}, {"b", "a"}, {"a", "b", "b"}}
+	for _, s := range accepted {
+		if !d.Accepts(s) {
+			t.Errorf("should accept %v", s)
+		}
+	}
+	for _, s := range rejected {
+		if d.Accepts(s) {
+			t.Errorf("should reject %v", s)
+		}
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	d := Compile(alt(ref("a"), ref("b")), nil)
+	if !d.Accepts([]string{"a"}) || !d.Accepts([]string{"b"}) {
+		t.Error("alternatives not accepted")
+	}
+	if d.Accepts([]string{"a", "b"}) || d.Accepts(nil) {
+		t.Error("over-acceptance")
+	}
+}
+
+func TestOptional(t *testing.T) {
+	d := Compile(seq(ref("a"), opt(ref("b"))), nil)
+	if !d.Accepts([]string{"a"}) || !d.Accepts([]string{"a", "b"}) {
+		t.Error("optional handling wrong")
+	}
+	if d.Accepts([]string{"a", "b", "b"}) {
+		t.Error("optional repeated")
+	}
+}
+
+func TestStarAndPlus(t *testing.T) {
+	d := Compile(seq(ref("a"), star(ref("b")), ref("c")), nil)
+	for _, s := range [][]string{{"a", "c"}, {"a", "b", "c"}, {"a", "b", "b", "b", "c"}} {
+		if !d.Accepts(s) {
+			t.Errorf("star should accept %v", s)
+		}
+	}
+	d = Compile(plus(ref("x")), nil)
+	if d.Accepts(nil) {
+		t.Error("plus accepted empty")
+	}
+	for _, s := range [][]string{{"x"}, {"x", "x", "x"}} {
+		if !d.Accepts(s) {
+			t.Errorf("plus should accept %v", s)
+		}
+	}
+}
+
+func TestNilOrderAcceptsOnlyEmpty(t *testing.T) {
+	d := Compile(nil, nil)
+	if !d.Accepts(nil) {
+		t.Error("empty sequence should be accepted")
+	}
+	if d.Accepts([]string{"a"}) {
+		t.Error("non-empty sequence accepted")
+	}
+}
+
+func TestAggregateExpansion(t *testing.T) {
+	agg := map[string][]string{"init": {"i1", "i2"}}
+	d := Compile(seq(ref("c"), ref("init"), ref("f")), agg)
+	if !d.Accepts([]string{"c", "i1", "f"}) || !d.Accepts([]string{"c", "i2", "f"}) {
+		t.Error("aggregate members not accepted")
+	}
+	if d.Accepts([]string{"c", "init", "f"}) {
+		t.Error("aggregate label itself must not be a symbol")
+	}
+}
+
+func TestAcceptingPathsShortestFirst(t *testing.T) {
+	d := Compile(seq(ref("a"), opt(ref("b")), opt(ref("c"))), nil)
+	paths := d.AcceptingPaths(0)
+	if len(paths) != 4 {
+		t.Fatalf("want 4 paths, got %v", paths)
+	}
+	if len(paths[0]) != 1 || paths[0][0] != "a" {
+		t.Errorf("shortest path first: %v", paths)
+	}
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i-1]) > len(paths[i]) {
+			t.Errorf("paths not sorted by length: %v", paths)
+		}
+	}
+}
+
+func TestAcceptingPathsNoRepetition(t *testing.T) {
+	// a+ has infinitely many words; path enumeration must terminate with
+	// the single-visit expansion (paper §3.3).
+	d := Compile(plus(ref("a")), nil)
+	paths := d.AcceptingPaths(0)
+	if len(paths) != 1 || !reflect.DeepEqual(paths[0], []string{"a"}) {
+		t.Fatalf("got %v", paths)
+	}
+}
+
+func TestAcceptingPathsBound(t *testing.T) {
+	d := Compile(seq(opt(ref("a")), opt(ref("b")), opt(ref("c")), opt(ref("d"))), nil)
+	paths := d.AcceptingPaths(3)
+	if len(paths) != 3 {
+		t.Fatalf("bound ignored: %d paths", len(paths))
+	}
+}
+
+func TestAllPathsAreAccepted(t *testing.T) {
+	exprs := []ast.OrderExpr{
+		seq(ref("a"), alt(ref("b"), seq(ref("c"), ref("d"))), opt(ref("e"))),
+		alt(seq(ref("x"), ref("y")), plus(ref("z"))),
+		seq(opt(ref("p")), star(ref("q")), ref("r")),
+	}
+	for _, e := range exprs {
+		d := Compile(e, nil)
+		n := CompileNFA(e, nil)
+		for _, p := range d.AcceptingPaths(0) {
+			if !d.Accepts(p) {
+				t.Errorf("%s: enumerated path %v not accepted by DFA", e, p)
+			}
+			if !n.Accepts(p) {
+				t.Errorf("%s: enumerated path %v not accepted by NFA", e, p)
+			}
+		}
+	}
+}
+
+// randomOrder generates a random ORDER expression over a small alphabet.
+func randomOrder(r *rand.Rand, depth int) ast.OrderExpr {
+	labels := []string{"a", "b", "c"}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return ref(labels[r.Intn(len(labels))])
+	}
+	switch r.Intn(4) {
+	case 0:
+		return seq(randomOrder(r, depth-1), randomOrder(r, depth-1))
+	case 1:
+		return alt(randomOrder(r, depth-1), randomOrder(r, depth-1))
+	case 2:
+		return opt(randomOrder(r, depth-1))
+	default:
+		ops := []ast.RepOp{ast.RepStar, ast.RepPlus}
+		return &ast.OrderRep{Sub: randomOrder(r, depth-1), Op: ops[r.Intn(2)]}
+	}
+}
+
+// TestQuickDFANFAEquivalence is the central property test: for random
+// expressions and random sequences, the determinized DFA and the Thompson
+// NFA must agree.
+func TestQuickDFANFAEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seedExpr int64, word []byte) bool {
+		r := rand.New(rand.NewSource(seedExpr))
+		e := randomOrder(r, 3)
+		n := CompileNFA(e, nil)
+		d := Determinize(n)
+		labels := []string{"a", "b", "c"}
+		var seq []string
+		for _, b := range word {
+			seq = append(seq, labels[int(b)%len(labels)])
+			if len(seq) >= 8 {
+				break
+			}
+		}
+		return n.Accepts(seq) == d.Accepts(seq)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStepSetMatchesAccepts checks incremental NFA stepping against
+// whole-word acceptance.
+func TestQuickStepSetMatchesAccepts(t *testing.T) {
+	f := func(seedExpr int64, word []byte) bool {
+		r := rand.New(rand.NewSource(seedExpr))
+		e := randomOrder(r, 3)
+		n := CompileNFA(e, nil)
+		labels := []string{"a", "b", "c"}
+		set := n.StartSet()
+		var seq []string
+		for _, b := range word {
+			if len(seq) >= 6 {
+				break
+			}
+			sym := labels[int(b)%len(labels)]
+			seq = append(seq, sym)
+			set = n.StepSet(set, sym)
+			if set == nil {
+				// Dead: the whole word and any extension must be rejected.
+				return !n.Accepts(seq)
+			}
+		}
+		return n.AcceptingSet(set) == n.Accepts(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFAStringRendering(t *testing.T) {
+	d := Compile(seq(ref("a"), ref("b")), nil)
+	s := d.String()
+	if !strings.Contains(s, "--a-->") || !strings.Contains(s, "--b-->") {
+		t.Errorf("transition table rendering: %q", s)
+	}
+}
+
+func TestStepDeadTransition(t *testing.T) {
+	d := Compile(seq(ref("a"), ref("b")), nil)
+	if _, ok := d.Step(d.Start, "b"); ok {
+		t.Error("b from start should be dead")
+	}
+	s, ok := d.Step(d.Start, "a")
+	if !ok {
+		t.Fatal("a from start should step")
+	}
+	if _, ok := d.Step(s, "a"); ok {
+		t.Error("a,a should be dead")
+	}
+}

@@ -1,0 +1,153 @@
+package fsm
+
+import "sort"
+
+// Minimize returns the language-equivalent minimal DFA, computed with
+// Hopcroft-style partition refinement over a completed automaton (a
+// synthetic dead state absorbs missing transitions and is dropped again
+// afterwards).
+//
+// Rule automata are small, so minimization is not needed for speed; it
+// exists because the subset construction can produce duplicate states for
+// ORDER expressions like "(a, b?) | (a, b)", and the analyzer's
+// diagnostics ("DFA states=N") read better over the canonical machine.
+func Minimize(d *DFA) *DFA {
+	if d.NumStates == 0 {
+		return d
+	}
+	// Complete the automaton with a dead state.
+	n := d.NumStates
+	dead := n
+	total := n + 1
+	trans := make([]map[string]int, total)
+	for s := 0; s < n; s++ {
+		trans[s] = map[string]int{}
+		for _, sym := range d.Alphabet {
+			if t, ok := d.Trans[s][sym]; ok {
+				trans[s][sym] = t
+			} else {
+				trans[s][sym] = dead
+			}
+		}
+	}
+	trans[dead] = map[string]int{}
+	for _, sym := range d.Alphabet {
+		trans[dead][sym] = dead
+	}
+	accepting := make([]bool, total)
+	copy(accepting, d.Accepting)
+
+	// Initial partition: accepting vs non-accepting.
+	part := make([]int, total)
+	for s := 0; s < total; s++ {
+		if accepting[s] {
+			part[s] = 1
+		}
+	}
+	numBlocks := 2
+	if !anyTrue(accepting) {
+		numBlocks = 1
+	}
+
+	// Iterative refinement: split blocks whose members disagree on the
+	// block of any successor. Terminates because the block count strictly
+	// increases.
+	for {
+		type signature string
+		sigOf := func(s int) signature {
+			sig := make([]byte, 0, 4*len(d.Alphabet)+4)
+			sig = appendInt(sig, part[s])
+			for _, sym := range d.Alphabet {
+				sig = appendInt(sig, part[trans[s][sym]])
+			}
+			return signature(sig)
+		}
+		blocks := map[signature]int{}
+		newPart := make([]int, total)
+		next := 0
+		for s := 0; s < total; s++ {
+			sig := sigOf(s)
+			id, ok := blocks[sig]
+			if !ok {
+				id = next
+				next++
+				blocks[sig] = id
+			}
+			newPart[s] = id
+		}
+		if next == numBlocks {
+			break
+		}
+		part, numBlocks = newPart, next
+	}
+
+	// Build the minimal automaton over blocks, dropping the dead block.
+	deadBlock := part[dead]
+	// Renumber blocks with the start block first for stable output.
+	order := []int{part[d.Start]}
+	seen := map[int]bool{part[d.Start]: true}
+	for s := 0; s < n; s++ {
+		b := part[s]
+		if !seen[b] && b != deadBlock {
+			seen[b] = true
+			order = append(order, b)
+		}
+	}
+	// deadBlock may coincide with a live block only if some live state is
+	// equivalent to dead (a trap state); such states are unreachable from
+	// accepting paths but must be preserved for step-wise rejection
+	// queries, so keep them.
+	id := map[int]int{}
+	for i, b := range order {
+		id[b] = i
+	}
+	out := &DFA{
+		Start:     id[part[d.Start]],
+		NumStates: len(order),
+		Accepting: make([]bool, len(order)),
+		Trans:     make([]map[string]int, len(order)),
+		Alphabet:  append([]string(nil), d.Alphabet...),
+	}
+	for i := range out.Trans {
+		out.Trans[i] = map[string]int{}
+	}
+	for s := 0; s < n; s++ {
+		b, ok := id[part[s]]
+		if !ok {
+			continue // state equivalent to dead
+		}
+		out.Accepting[b] = accepting[s]
+		for _, sym := range d.Alphabet {
+			t := trans[s][sym]
+			tb := part[t]
+			if tb == deadBlock {
+				continue
+			}
+			out.Trans[b][sym] = id[tb]
+		}
+	}
+	return out
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// sortedSymbols is kept for diagnostic helpers.
+func sortedSymbols(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for sym := range m {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeMergesDuplicateStates(t *testing.T) {
+	// (a, b?) | (a, b) — subset construction yields separate states for
+	// the two "after a" positions with identical futures.
+	e := alt(seq(ref("a"), opt(ref("b"))), seq(ref("a"), ref("b")))
+	d := Compile(e, nil)
+	m := Minimize(d)
+	if m.NumStates > d.NumStates {
+		t.Fatalf("minimization grew the automaton: %d -> %d", d.NumStates, m.NumStates)
+	}
+	// The language is exactly {a, ab}: 3 live states suffice.
+	if m.NumStates != 3 {
+		t.Errorf("minimal DFA for {a, ab} should have 3 states, got %d\n%s", m.NumStates, m.String())
+	}
+	for _, c := range []struct {
+		seq []string
+		ok  bool
+	}{
+		{[]string{"a"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"b"}, false},
+		{[]string{"a", "b", "b"}, false},
+		{nil, false},
+	} {
+		if m.Accepts(c.seq) != c.ok {
+			t.Errorf("minimized accepts(%v) = %v, want %v", c.seq, !c.ok, c.ok)
+		}
+	}
+}
+
+// TestQuickMinimizePreservesLanguage: the minimized DFA accepts exactly
+// the same sequences as the original, over random expressions and words.
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	f := func(seedExpr int64, word []byte) bool {
+		r := rand.New(rand.NewSource(seedExpr))
+		e := randomOrder(r, 3)
+		d := Compile(e, nil)
+		m := Minimize(d)
+		if m.NumStates > d.NumStates {
+			return false
+		}
+		labels := []string{"a", "b", "c"}
+		var seq []string
+		for _, b := range word {
+			seq = append(seq, labels[int(b)%len(labels)])
+			if len(seq) >= 8 {
+				break
+			}
+		}
+		return d.Accepts(seq) == m.Accepts(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimizeIdempotent: minimizing twice changes nothing further.
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	f := func(seedExpr int64) bool {
+		r := rand.New(rand.NewSource(seedExpr))
+		e := randomOrder(r, 3)
+		m1 := Minimize(Compile(e, nil))
+		m2 := Minimize(m1)
+		return m2.NumStates == m1.NumStates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimizePreservesPaths: accepting-path enumeration agrees
+// between original and minimized automata (the generator's client view).
+func TestQuickMinimizePreservesPaths(t *testing.T) {
+	f := func(seedExpr int64) bool {
+		r := rand.New(rand.NewSource(seedExpr))
+		e := randomOrder(r, 2)
+		d := Compile(e, nil)
+		m := Minimize(d)
+		pd := d.AcceptingPaths(64)
+		pm := m.AcceptingPaths(64)
+		// Path enumeration over a smaller graph can only lose duplicate
+		// detours, never valid words: every enumerated minimal path must be
+		// accepted by the original and vice versa.
+		for _, p := range pm {
+			if !d.Accepts(p) {
+				return false
+			}
+		}
+		for _, p := range pd {
+			if !m.Accepts(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeEmptyLanguageAutomaton(t *testing.T) {
+	// An ORDER accepting only the empty word.
+	d := Compile(nil, nil)
+	m := Minimize(d)
+	if !m.Accepts(nil) || m.Accepts([]string{"a"}) {
+		t.Error("empty-word language broken")
+	}
+}
+
+func TestMinimizeOrderExprFromRuleSet(t *testing.T) {
+	// The Cipher-style order with aggregates.
+	agg := map[string][]string{"inits": {"i1", "i2"}}
+	e := seq(ref("c1"), ref("inits"), alt(seq(opt(ref("a1")), star(ref("u1")), ref("f1")), ref("w1")))
+	d := Compile(e, agg)
+	m := Minimize(d)
+	for _, c := range [][]string{
+		{"c1", "i1", "f1"},
+		{"c1", "i2", "a1", "u1", "f1"},
+		{"c1", "i1", "w1"},
+	} {
+		if !m.Accepts(c) {
+			t.Errorf("minimized rejects %v", c)
+		}
+	}
+	if m.Accepts([]string{"c1", "f1"}) {
+		t.Error("minimized over-accepts")
+	}
+}

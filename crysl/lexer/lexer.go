@@ -1,0 +1,346 @@
+// Package lexer converts GoCrySL rule source text into a token stream.
+//
+// The lexer is a straightforward hand-written scanner. It supports //-line
+// and /* */-block comments, decimal integer literals (with an optional
+// leading minus handled by the parser), double-quoted string literals with
+// Go-style escapes, and single-quoted character literals.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"cognicryptgen/crysl/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans GoCrySL source text.
+type Lexer struct {
+	src   string
+	off   int // byte offset of next rune
+	line  int
+	col   int
+	errs  []error
+	peekT *token.Token
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	// Cap accumulation: garbage input must not flood memory or logs.
+	if len(l.errs) < 50 {
+		l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (l *Lexer) rune() (rune, int) {
+	if l.off >= len(l.src) {
+		return -1, 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	return r, w
+}
+
+func (l *Lexer) advance(r rune, w int) {
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() token.Token {
+	if l.peekT == nil {
+		t := l.scan()
+		l.peekT = &t
+	}
+	return *l.peekT
+}
+
+// Next returns the next token and consumes it.
+func (l *Lexer) Next() token.Token {
+	if l.peekT != nil {
+		t := *l.peekT
+		l.peekT = nil
+		return t
+	}
+	return l.scan()
+}
+
+// All scans the remaining input and returns every token up to and including
+// EOF. It is primarily useful for tests and tooling.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r, w := l.rune()
+		switch {
+		case r == -1:
+			return
+		case unicode.IsSpace(r):
+			l.advance(r, w)
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for {
+				r, w := l.rune()
+				if r == -1 || r == '\n' {
+					break
+				}
+				l.advance(r, w)
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "/*"):
+			start := l.pos()
+			l.advance('/', 1)
+			l.advance('*', 1)
+			closed := false
+			for {
+				r, w := l.rune()
+				if r == -1 {
+					break
+				}
+				if r == '*' && strings.HasPrefix(l.src[l.off+w:], "/") {
+					l.advance(r, w)
+					l.advance('/', 1)
+					closed = true
+					break
+				}
+				l.advance(r, w)
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) scan() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	r, w := l.rune()
+	if r == -1 {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+
+	switch {
+	case isIdentStart(r):
+		start := l.off
+		for {
+			r, w := l.rune()
+			if r == -1 || !isIdentPart(r) {
+				break
+			}
+			l.advance(r, w)
+		}
+		lit := l.src[start:l.off]
+		if lit == "_" {
+			return token.Token{Kind: token.UNDERSCORE, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+
+	case unicode.IsDigit(r):
+		start := l.off
+		for {
+			r, w := l.rune()
+			if r == -1 || !unicode.IsDigit(r) {
+				break
+			}
+			l.advance(r, w)
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+
+	case r == '"':
+		return l.scanString(pos)
+
+	case r == '\'':
+		return l.scanChar(pos)
+	}
+
+	l.advance(r, w)
+	two := func(next rune, k token.Kind) (token.Token, bool) {
+		if nr, nw := l.rune(); nr == next {
+			l.advance(nr, nw)
+			return token.Token{Kind: k, Lit: string(r) + string(next), Pos: pos}, true
+		}
+		return token.Token{}, false
+	}
+
+	switch r {
+	case '(':
+		return token.Token{Kind: token.LPAREN, Lit: "(", Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Lit: ")", Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Lit: "{", Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Lit: "}", Pos: pos}
+	case '[':
+		if t, ok := two(']', token.SLICE); ok {
+			return t
+		}
+		return token.Token{Kind: token.LBRACKET, Lit: "[", Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Lit: "]", Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Lit: ",", Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Lit: ";", Pos: pos}
+	case ':':
+		if t, ok := two('=', token.ASSIGN); ok {
+			return t
+		}
+		return token.Token{Kind: token.COLON, Lit: ":", Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Lit: ".", Pos: pos}
+	case '|':
+		if t, ok := two('|', token.OROR); ok {
+			return t
+		}
+		return token.Token{Kind: token.OR, Lit: "|", Pos: pos}
+	case '?':
+		return token.Token{Kind: token.OPT, Lit: "?", Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Lit: "*", Pos: pos}
+	case '+':
+		return token.Token{Kind: token.PLUS, Lit: "+", Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Lit: "-", Pos: pos}
+	case '=':
+		if t, ok := two('=', token.EQ); ok {
+			return t
+		}
+		if t, ok := two('>', token.IMPLIES); ok {
+			return t
+		}
+	case '!':
+		if t, ok := two('=', token.NEQ); ok {
+			return t
+		}
+		return token.Token{Kind: token.NOT, Lit: "!", Pos: pos}
+	case '<':
+		if t, ok := two('=', token.LEQ); ok {
+			return t
+		}
+		return token.Token{Kind: token.LT, Lit: "<", Pos: pos}
+	case '>':
+		if t, ok := two('=', token.GEQ); ok {
+			return t
+		}
+		return token.Token{Kind: token.GT, Lit: ">", Pos: pos}
+	case '&':
+		if t, ok := two('&', token.AND); ok {
+			return t
+		}
+	}
+
+	l.errorf(pos, "illegal character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance('"', 1)
+	var sb strings.Builder
+	for {
+		r, w := l.rune()
+		if r == -1 || r == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+		}
+		l.advance(r, w)
+		if r == '"' {
+			return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+		}
+		if r == '\\' {
+			er, ew := l.rune()
+			if er == -1 {
+				l.errorf(pos, "unterminated string literal")
+				return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+			}
+			l.advance(er, ew)
+			switch er {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				l.errorf(pos, "unknown escape \\%c in string literal", er)
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance('\'', 1)
+	r, w := l.rune()
+	if r == -1 {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	l.advance(r, w)
+	if r == '\\' {
+		er, ew := l.rune()
+		l.advance(er, ew)
+		switch er {
+		case 'n':
+			r = '\n'
+		case 't':
+			r = '\t'
+		case '\\':
+			r = '\\'
+		case '\'':
+			r = '\''
+		default:
+			l.errorf(pos, "unknown escape \\%c in character literal", er)
+		}
+	}
+	cr, cw := l.rune()
+	if cr != '\'' {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+	}
+	l.advance(cr, cw)
+	return token.Token{Kind: token.CHAR, Lit: string(r), Pos: pos}
+}

@@ -1,0 +1,188 @@
+package lexer
+
+import (
+	"testing"
+
+	"cognicryptgen/crysl/token"
+)
+
+func kindsOf(src string) []token.Kind {
+	l := New(src)
+	var out []token.Kind
+	for _, t := range l.All() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kindsOf("SPEC gca.Cipher")
+	want := []token.Kind{token.SPEC, token.IDENT, token.DOT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		":=": token.ASSIGN, "==": token.EQ, "!=": token.NEQ,
+		"<=": token.LEQ, ">=": token.GEQ, "<": token.LT, ">": token.GT,
+		"=>": token.IMPLIES, "&&": token.AND, "||": token.OROR,
+		"|": token.OR, "?": token.OPT, "*": token.STAR, "+": token.PLUS,
+		"[]": token.SLICE, "[": token.LBRACKET, "]": token.RBRACKET,
+		"(": token.LPAREN, ")": token.RPAREN, "{": token.LBRACE, "}": token.RBRACE,
+		",": token.COMMA, ";": token.SEMICOLON, ":": token.COLON, ".": token.DOT,
+		"!": token.NOT, "-": token.MINUS,
+	}
+	for src, want := range cases {
+		l := New(src)
+		tok := l.Next()
+		if tok.Kind != want {
+			t.Errorf("%q: got %v, want %v", src, tok.Kind, want)
+		}
+		if len(l.Errors()) != 0 {
+			t.Errorf("%q: unexpected errors %v", src, l.Errors())
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	for _, kw := range []string{"SPEC", "OBJECTS", "FORBIDDEN", "EVENTS", "ORDER",
+		"CONSTRAINTS", "REQUIRES", "ENSURES", "NEGATES", "in", "after", "this",
+		"instanceof", "part", "length", "callTo", "noCallTo"} {
+		l := New(kw)
+		tok := l.Next()
+		if tok.Kind == token.IDENT {
+			t.Errorf("%q lexed as plain identifier", kw)
+		}
+	}
+	// Case matters: "spec" is an identifier.
+	if tok := New("spec").Next(); tok.Kind != token.IDENT {
+		t.Errorf("lowercase 'spec' should be IDENT, got %v", tok.Kind)
+	}
+}
+
+func TestBoolLiterals(t *testing.T) {
+	for _, src := range []string{"true", "false"} {
+		tok := New(src).Next()
+		if tok.Kind != token.BOOL || tok.Lit != src {
+			t.Errorf("%q: got %v %q", src, tok.Kind, tok.Lit)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	tok := New(`"AES/GCM/NoPadding"`).Next()
+	if tok.Kind != token.STRING || tok.Lit != "AES/GCM/NoPadding" {
+		t.Fatalf("got %v %q", tok.Kind, tok.Lit)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	tok := New(`"a\nb\t\"c\\"`).Next()
+	if tok.Lit != "a\nb\t\"c\\" {
+		t.Fatalf("escape handling wrong: %q", tok.Lit)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New(`"abc`)
+	tok := l.Next()
+	if tok.Kind != token.ILLEGAL {
+		t.Errorf("unterminated string should be ILLEGAL, got %v", tok.Kind)
+	}
+	if len(l.Errors()) == 0 {
+		t.Error("expected a lexical error")
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	tok := New(`'x'`).Next()
+	if tok.Kind != token.CHAR || tok.Lit != "x" {
+		t.Fatalf("got %v %q", tok.Kind, tok.Lit)
+	}
+	tok = New(`'\n'`).Next()
+	if tok.Kind != token.CHAR || tok.Lit != "\n" {
+		t.Fatalf("escaped char: got %v %q", tok.Kind, tok.Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `// line comment
+SPEC /* block
+comment */ x`
+	got := kindsOf(src)
+	want := []token.Kind{token.SPEC, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comments not skipped: %v", got)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	l := New("/* never closed")
+	l.Next()
+	if len(l.Errors()) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("SPEC\n  foo")
+	spec := l.Next()
+	foo := l.Next()
+	if spec.Pos.Line != 1 || spec.Pos.Col != 1 {
+		t.Errorf("SPEC at %v, want 1:1", spec.Pos)
+	}
+	if foo.Pos.Line != 2 || foo.Pos.Col != 3 {
+		t.Errorf("foo at %v, want 2:3", foo.Pos)
+	}
+}
+
+func TestPeekIsIdempotent(t *testing.T) {
+	l := New("a b")
+	if l.Peek().Lit != "a" || l.Peek().Lit != "a" {
+		t.Fatal("Peek consumed input")
+	}
+	if l.Next().Lit != "a" || l.Next().Lit != "b" {
+		t.Fatal("Next order wrong after Peek")
+	}
+}
+
+func TestIllegalRune(t *testing.T) {
+	l := New("@")
+	tok := l.Next()
+	if tok.Kind != token.ILLEGAL {
+		t.Fatalf("got %v", tok.Kind)
+	}
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for '@'")
+	}
+}
+
+func TestUnderscore(t *testing.T) {
+	if tok := New("_").Next(); tok.Kind != token.UNDERSCORE {
+		t.Errorf("got %v", tok.Kind)
+	}
+	if tok := New("_x").Next(); tok.Kind != token.IDENT || tok.Lit != "_x" {
+		t.Errorf("identifier starting with underscore: got %v %q", tok.Kind, tok.Lit)
+	}
+}
+
+func TestIntLiteral(t *testing.T) {
+	tok := New("10000").Next()
+	if tok.Kind != token.INT || tok.Lit != "10000" {
+		t.Fatalf("got %v %q", tok.Kind, tok.Lit)
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	tok := New("schlüssel").Next()
+	if tok.Kind != token.IDENT || tok.Lit != "schlüssel" {
+		t.Fatalf("got %v %q", tok.Kind, tok.Lit)
+	}
+}

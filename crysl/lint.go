@@ -1,0 +1,86 @@
+package crysl
+
+import "fmt"
+
+// LintSeverity classifies a rule-set lint finding.
+type LintSeverity int
+
+// Lint severities: errors break generation; warnings are suspicious but
+// legal.
+const (
+	LintError LintSeverity = iota
+	LintWarning
+)
+
+func (s LintSeverity) String() string {
+	if s == LintError {
+		return "error"
+	}
+	return "warning"
+}
+
+// LintIssue is one cross-rule consistency finding.
+type LintIssue struct {
+	Severity LintSeverity
+	Rule     string
+	Message  string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Severity, i.Rule, i.Message)
+}
+
+// Lint performs rule-set-level consistency checks that the per-rule
+// semantic analysis cannot see:
+//
+//   - REQUIRES predicates that no rule in the set ENSURES (the generator
+//     could never link them; error);
+//   - ENSURES predicates that no rule REQUIRES (dead guarantees; warning);
+//   - FORBIDDEN methods that also appear as an event of the same rule
+//     (contradictory; error);
+//   - rules with events but no ORDER (every sequence would be accepted;
+//     warning).
+func Lint(set *RuleSet) []LintIssue {
+	var issues []LintIssue
+	required := map[string]bool{}
+	for _, r := range set.Rules() {
+		for _, req := range r.AST.Requires {
+			required[req.Name] = true
+			if len(set.Producers(req.Name)) == 0 {
+				issues = append(issues, LintIssue{
+					Severity: LintError,
+					Rule:     r.SpecType(),
+					Message:  fmt.Sprintf("requires predicate %q, which no rule in the set ensures", req.Name),
+				})
+			}
+		}
+	}
+	for _, r := range set.Rules() {
+		for _, ens := range r.AST.Ensures {
+			if !required[ens.Name] {
+				issues = append(issues, LintIssue{
+					Severity: LintWarning,
+					Rule:     r.SpecType(),
+					Message:  fmt.Sprintf("ensures predicate %q, which no rule requires", ens.Name),
+				})
+			}
+		}
+		for _, forb := range r.AST.Forbidden {
+			if labels := r.LabelsForMethod(forb.Method); len(labels) > 0 {
+				issues = append(issues, LintIssue{
+					Severity: LintError,
+					Rule:     r.SpecType(),
+					Message:  fmt.Sprintf("method %q is both forbidden and an event (%v)", forb.Method, labels),
+				})
+			}
+		}
+		if len(r.Events) > 0 && r.AST.Order == nil {
+			issues = append(issues, LintIssue{
+				Severity: LintWarning,
+				Rule:     r.SpecType(),
+				Message:  "declares events but no ORDER; every call sequence would be accepted",
+			})
+		}
+	}
+	return issues
+}

@@ -1,0 +1,99 @@
+package crysl
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintSet(t *testing.T, srcs ...string) []LintIssue {
+	t.Helper()
+	set := NewRuleSet()
+	for i, src := range srcs {
+		r, err := ParseRule("rule", src)
+		if err != nil {
+			t.Fatalf("rule %d: %v", i, err)
+		}
+		if err := set.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Lint(set)
+}
+
+func TestLintUnproducedRequirement(t *testing.T) {
+	issues := lintSet(t, `SPEC gca.A
+OBJECTS
+    []byte x;
+EVENTS
+    c: New(x);
+ORDER
+    c
+REQUIRES
+    ghostPred[x];
+`)
+	found := false
+	for _, i := range issues {
+		if i.Severity == LintError && strings.Contains(i.Message, "ghostPred") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unproduced requirement not flagged: %v", issues)
+	}
+}
+
+func TestLintDeadEnsures(t *testing.T) {
+	issues := lintSet(t, `SPEC gca.A
+EVENTS
+    c: New();
+ORDER
+    c
+ENSURES
+    unusedPred[this] after c;
+`)
+	found := false
+	for _, i := range issues {
+		if i.Severity == LintWarning && strings.Contains(i.Message, "unusedPred") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead ensures not flagged: %v", issues)
+	}
+}
+
+func TestLintForbiddenEventContradiction(t *testing.T) {
+	issues := lintSet(t, `SPEC gca.A
+FORBIDDEN
+    New;
+EVENTS
+    c: New();
+ORDER
+    c
+`)
+	found := false
+	for _, i := range issues {
+		if i.Severity == LintError && strings.Contains(i.Message, "both forbidden and an event") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contradiction not flagged: %v", issues)
+	}
+}
+
+func TestLintMissingOrder(t *testing.T) {
+	issues := lintSet(t, `SPEC gca.A
+EVENTS
+    c: New();
+`)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Message, "no ORDER") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing ORDER not flagged: %v", issues)
+	}
+}

@@ -1,0 +1,59 @@
+package parser
+
+import (
+	"testing"
+
+	"cognicryptgen/crysl/lexer"
+	"cognicryptgen/crysl/token"
+)
+
+// FuzzParse asserts the parser's crash-freedom contract: arbitrary input
+// must produce a rule or an error, never a panic, and error accumulation
+// must stay bounded. `go test` runs the seed corpus; `go test -fuzz
+// FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SPEC",
+		"SPEC gca.X",
+		"SPEC gca.X\nOBJECTS\nint n;\nEVENTS\nc: New(n);\nORDER\nc",
+		"SPEC T\nCONSTRAINTS\nx in {1, 2};",
+		"SPEC T\nEVENTS\ng := a | b;",
+		"SPEC T\nORDER\n(a, b)* | c+",
+		"SPEC T\nENSURES\np[this] after c;",
+		"SPEC T\nCONSTRAINTS\nneverTypeOf[p, string];",
+		"SPEC T\nCONSTRAINTS\npart(0, \"/\", t) in {\"AES\"};",
+		"SPEC \x00\xff garbage \"unterminated",
+		"SPEC T\nOBJECTS\n[]byte " + "x;\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rule, err := Parse(src)
+		if rule == nil && err == nil {
+			t.Fatal("Parse returned neither rule nor error")
+		}
+	})
+}
+
+// FuzzLexer asserts the lexer always terminates with EOF and never panics.
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{"", "SPEC x", `"str"`, "'c'", "/* block", "a:=b|c?*+", "\xf0\x28\x8c\x28"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l := lexer.New(src)
+		n := 0
+		for {
+			tok := l.Next()
+			if tok.Kind == token.EOF {
+				break
+			}
+			n++
+			if n > len(src)+16 {
+				t.Fatalf("lexer produced more tokens (%d) than plausible for %d bytes", n, len(src))
+			}
+		}
+	})
+}

@@ -1,0 +1,637 @@
+// Package parser implements a recursive-descent parser for GoCrySL rules.
+//
+// The grammar, in rough EBNF (terminals quoted):
+//
+//	Rule        = "SPEC" QualName Section* .
+//	Section     = Objects | Forbidden | Events | Order | Constraints
+//	            | Requires | Ensures | Negates .
+//	Objects     = "OBJECTS" { Type Ident ";" } .
+//	Forbidden   = "FORBIDDEN" { Ident [ "(" Params ")" ] [ "=>" Ident ] ";" } .
+//	Events      = "EVENTS" { Ident ":" Event ";" | Ident ":=" Agg ";" } .
+//	Event       = [ Ident "=" ] Ident "(" Params ")" .
+//	Agg         = Ident { "|" Ident } .
+//	Order       = "ORDER" OrderAlt .
+//	OrderAlt    = OrderSeq { "|" OrderSeq } .
+//	OrderSeq    = OrderUnit { "," OrderUnit } .
+//	OrderUnit   = ( Ident | "(" OrderAlt ")" ) [ "?" | "*" | "+" ] .
+//	Constraints = "CONSTRAINTS" { Constraint ";" } .
+//	Requires    = "REQUIRES" { Pred ";" } .
+//	Ensures     = "ENSURES" { Pred [ "after" Ident ] ";" } .
+//	Negates     = "NEGATES" { Pred [ "after" Ident ] ";" } .
+//	Pred        = Ident "[" PredParams "]" .
+//
+// The ORDER section ends at the next section keyword (it has no trailing
+// semicolon, matching CrySL).
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/lexer"
+	"cognicryptgen/crysl/token"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	errs []error
+}
+
+// Parse parses one GoCrySL rule from src. On syntax errors it returns the
+// partial rule along with a joined error.
+func Parse(src string) (*ast.Rule, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.next()
+	rule := p.parseRule()
+	p.errs = append(p.errs, p.lex.Errors()...)
+	if len(p.errs) > 0 {
+		return rule, errors.Join(p.errs...)
+	}
+	return rule, nil
+}
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	// Cap error accumulation so that badly broken input cannot flood memory.
+	if len(p.errs) < 50 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: let the caller's recovery logic decide.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// skipToSemicolon advances past the next semicolon (or to a section
+// boundary/EOF) so that one malformed statement does not cascade.
+func (p *parser) skipToSemicolon() {
+	for p.tok.Kind != token.EOF && !p.tok.Kind.IsSection() {
+		if p.tok.Kind == token.SEMICOLON {
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseRule() *ast.Rule {
+	rule := &ast.Rule{}
+	specTok := p.expect(token.SPEC)
+	rule.SpecPos = specTok.Pos
+	rule.SpecType = p.parseQualName()
+
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.OBJECTS:
+			p.next()
+			p.parseObjects(rule)
+		case token.FORBIDDEN:
+			p.next()
+			p.parseForbidden(rule)
+		case token.EVENTS:
+			p.next()
+			p.parseEvents(rule)
+		case token.ORDER:
+			p.next()
+			rule.Order = p.parseOrderAlt()
+		case token.CONSTRAINTS:
+			p.next()
+			p.parseConstraints(rule)
+		case token.REQUIRES:
+			p.next()
+			p.parseRequires(rule)
+		case token.ENSURES:
+			p.next()
+			rule.Ensures = append(rule.Ensures, p.parsePredicateDefs()...)
+		case token.NEGATES:
+			p.next()
+			rule.Negates = append(rule.Negates, p.parsePredicateDefs()...)
+		default:
+			p.errorf(p.tok.Pos, "expected section keyword, found %s", p.tok)
+			p.next()
+		}
+	}
+	return rule
+}
+
+// parseQualName parses a possibly package-qualified name: gca.PBEKeySpec.
+func (p *parser) parseQualName() string {
+	t := p.expect(token.IDENT)
+	name := t.Lit
+	for p.tok.Kind == token.DOT {
+		p.next()
+		part := p.expect(token.IDENT)
+		name += "." + part.Lit
+	}
+	return name
+}
+
+func (p *parser) atSectionOrEOF() bool {
+	return p.tok.Kind == token.EOF || p.tok.Kind.IsSection()
+}
+
+func (p *parser) parseObjects(rule *ast.Rule) {
+	for !p.atSectionOrEOF() {
+		pos := p.tok.Pos
+		typ, ok := p.parseType()
+		if !ok {
+			p.skipToSemicolon()
+			continue
+		}
+		name := p.expect(token.IDENT)
+		rule.Objects = append(rule.Objects, &ast.Object{Pos: pos, Type: typ, Name: name.Lit})
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after object declaration")
+			p.skipToSemicolon()
+		}
+	}
+}
+
+func (p *parser) parseType() (ast.Type, bool) {
+	var t ast.Type
+	if p.accept(token.SLICE) {
+		t.Slice = true
+	}
+	if p.tok.Kind != token.IDENT {
+		p.errorf(p.tok.Pos, "expected type name, found %s", p.tok)
+		return t, false
+	}
+	t.Name = p.parseQualName()
+	return t, true
+}
+
+func (p *parser) parseForbidden(rule *ast.Rule) {
+	for !p.atSectionOrEOF() {
+		pos := p.tok.Pos
+		name := p.expect(token.IDENT)
+		fe := &ast.ForbiddenEvent{Pos: pos, Method: name.Lit}
+		if p.tok.Kind == token.LPAREN {
+			fe.HasParams = true
+			p.next()
+			fe.Params = p.parseParamRefs()
+			p.expect(token.RPAREN)
+		}
+		if p.accept(token.IMPLIES) {
+			repl := p.expect(token.IDENT)
+			fe.Replacement = repl.Lit
+		}
+		rule.Forbidden = append(rule.Forbidden, fe)
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after forbidden event")
+			p.skipToSemicolon()
+		}
+	}
+}
+
+func (p *parser) parseParamRefs() []ast.Param {
+	var params []ast.Param
+	if p.tok.Kind == token.RPAREN {
+		return params
+	}
+	for {
+		switch p.tok.Kind {
+		case token.UNDERSCORE:
+			params = append(params, ast.Param{Wildcard: true})
+			p.next()
+		case token.IDENT, token.THIS:
+			params = append(params, ast.Param{Name: p.tok.Lit})
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "expected parameter name or '_', found %s", p.tok)
+			return params
+		}
+		if !p.accept(token.COMMA) {
+			return params
+		}
+	}
+}
+
+func (p *parser) parseEvents(rule *ast.Rule) {
+	for !p.atSectionOrEOF() {
+		pos := p.tok.Pos
+		label := p.expect(token.IDENT)
+		decl := &ast.EventDecl{Pos: pos, Label: label.Lit}
+		switch p.tok.Kind {
+		case token.ASSIGN: // aggregate: g := a | b;
+			p.next()
+			for {
+				part := p.expect(token.IDENT)
+				decl.Aggregate = append(decl.Aggregate, part.Lit)
+				if !p.accept(token.OR) {
+					break
+				}
+			}
+		case token.COLON:
+			p.next()
+			decl.Pattern = p.parseEventPattern()
+		default:
+			p.errorf(p.tok.Pos, "expected ':' or ':=' after event label, found %s", p.tok)
+			p.skipToSemicolon()
+			continue
+		}
+		rule.Events = append(rule.Events, decl)
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after event declaration")
+			p.skipToSemicolon()
+		}
+	}
+}
+
+func (p *parser) parseEventPattern() *ast.EventPattern {
+	ev := &ast.EventPattern{}
+	first := p.tok
+	var firstName string
+	if first.Kind == token.THIS {
+		firstName = "this"
+		p.next()
+	} else {
+		firstName = p.expect(token.IDENT).Lit
+	}
+	// Either "name = Method(...)" or "Method(...)".
+	if p.tok.Kind == token.EQ {
+		// "==" would be relational; result binding uses single "=". The lexer
+		// produces EQ for "=="; a single "=" inside EVENTS is tokenised as
+		// IMPLIES ("=>") or fails. To keep the grammar LL(1) and simple, the
+		// binding uses "=" written as ":=" is taken; but CrySL uses "=". We
+		// accept "=" by treating a lone EQ here as an error.
+		p.errorf(p.tok.Pos, "unexpected '==' in event pattern; use 'name = Method(...)'")
+		p.next()
+	}
+	if p.tok.Kind == token.ASSIGN {
+		// "result := Method(...)" binding form.
+		p.next()
+		ev.Result = firstName
+		ev.Method = p.expect(token.IDENT).Lit
+	} else {
+		ev.Method = firstName
+	}
+	p.expect(token.LPAREN)
+	ev.Params = p.parseParamRefs()
+	p.expect(token.RPAREN)
+	return ev
+}
+
+func (p *parser) parseOrderAlt() ast.OrderExpr {
+	first := p.parseOrderSeq()
+	if p.tok.Kind != token.OR {
+		return first
+	}
+	alt := &ast.OrderAlt{Parts: []ast.OrderExpr{first}}
+	for p.accept(token.OR) {
+		alt.Parts = append(alt.Parts, p.parseOrderSeq())
+	}
+	return alt
+}
+
+func (p *parser) parseOrderSeq() ast.OrderExpr {
+	first := p.parseOrderUnit()
+	if p.tok.Kind != token.COMMA {
+		return first
+	}
+	seq := &ast.OrderSeq{Parts: []ast.OrderExpr{first}}
+	for p.accept(token.COMMA) {
+		seq.Parts = append(seq.Parts, p.parseOrderUnit())
+	}
+	return seq
+}
+
+func (p *parser) parseOrderUnit() ast.OrderExpr {
+	var unit ast.OrderExpr
+	switch p.tok.Kind {
+	case token.LPAREN:
+		p.next()
+		unit = p.parseOrderAlt()
+		p.expect(token.RPAREN)
+	case token.IDENT:
+		unit = &ast.OrderRef{Pos: p.tok.Pos, Label: p.tok.Lit}
+		p.next()
+	default:
+		p.errorf(p.tok.Pos, "expected event label or '(' in ORDER, found %s", p.tok)
+		p.next()
+		return &ast.OrderRef{Label: "<error>"}
+	}
+	for {
+		switch p.tok.Kind {
+		case token.OPT:
+			unit = &ast.OrderRep{Sub: unit, Op: ast.RepOpt}
+			p.next()
+		case token.STAR:
+			unit = &ast.OrderRep{Sub: unit, Op: ast.RepStar}
+			p.next()
+		case token.PLUS:
+			unit = &ast.OrderRep{Sub: unit, Op: ast.RepPlus}
+			p.next()
+		default:
+			return unit
+		}
+	}
+}
+
+func (p *parser) parseConstraints(rule *ast.Rule) {
+	for !p.atSectionOrEOF() {
+		c := p.parseConstraint()
+		if c == nil {
+			// The failing production already recovered past the ';'.
+			continue
+		}
+		rule.Constraints = append(rule.Constraints, c)
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after constraint")
+			p.skipToSemicolon()
+		}
+	}
+}
+
+// parseConstraint parses implication (lowest precedence), then ||, then &&,
+// then primary constraints.
+func (p *parser) parseConstraint() ast.Constraint {
+	lhs := p.parseConstraintOr()
+	if p.tok.Kind == token.IMPLIES {
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseConstraint()
+		return &ast.Implies{Pos: pos, Antecedent: lhs, Consequent: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) parseConstraintOr() ast.Constraint {
+	lhs := p.parseConstraintAnd()
+	for p.tok.Kind == token.OROR {
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseConstraintAnd()
+		lhs = &ast.BoolCombo{Pos: pos, Op: token.OROR, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) parseConstraintAnd() ast.Constraint {
+	lhs := p.parseConstraintPrimary()
+	for p.tok.Kind == token.AND {
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseConstraintPrimary()
+		lhs = &ast.BoolCombo{Pos: pos, Op: token.AND, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) parseConstraintPrimary() ast.Constraint {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.LPAREN:
+		p.next()
+		c := p.parseConstraint()
+		p.expect(token.RPAREN)
+		return c
+	case token.INSTANCEOF:
+		p.next()
+		p.expect(token.LBRACKET)
+		v := p.expect(token.IDENT)
+		p.expect(token.COMMA)
+		typ := p.parseQualName()
+		p.expect(token.RBRACKET)
+		return &ast.InstanceOf{Pos: pos, Var: v.Lit, Type: typ}
+	case token.NEVERTYPEOF:
+		p.next()
+		p.expect(token.LBRACKET)
+		v := p.expect(token.IDENT)
+		p.expect(token.COMMA)
+		typ := p.parseNeverType()
+		p.expect(token.RBRACKET)
+		return &ast.NeverTypeOf{Pos: pos, Var: v.Lit, Type: typ}
+	case token.CALLTO, token.NOCALLTO:
+		neg := p.tok.Kind == token.NOCALLTO
+		p.next()
+		p.expect(token.LBRACKET)
+		var labels []string
+		for {
+			l := p.expect(token.IDENT)
+			labels = append(labels, l.Lit)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+		return &ast.CallTo{Pos: pos, Labels: labels, Negate: neg}
+	}
+
+	lhs := p.parseValue()
+	if lhs == nil {
+		p.skipToSemicolon()
+		return nil
+	}
+	switch p.tok.Kind {
+	case token.IN:
+		p.next()
+		lits := p.parseLiteralSet()
+		return &ast.InSet{Pos: pos, Val: lhs, Lits: lits}
+	case token.NOT:
+		// "not in" written as "!in" is unsupported; flag clearly.
+		p.errorf(p.tok.Pos, "negated set membership must be written 'x notin {...}' is unsupported; use a Rel or Implies form")
+		p.skipToSemicolon()
+		return nil
+	case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ:
+		op := p.tok.Kind
+		p.next()
+		rhs := p.parseValue()
+		if rhs == nil {
+			p.skipToSemicolon()
+			return nil
+		}
+		return &ast.Rel{Pos: pos, Op: op, LHS: lhs, RHS: rhs}
+	default:
+		p.errorf(p.tok.Pos, "expected 'in' or relational operator in constraint, found %s", p.tok)
+		p.skipToSemicolon()
+		return nil
+	}
+}
+
+// parseNeverType parses the type operand of neverTypeOf: a (possibly
+// qualified, possibly slice) type name.
+func (p *parser) parseNeverType() string {
+	prefix := ""
+	if p.accept(token.SLICE) {
+		prefix = "[]"
+	}
+	return prefix + p.parseQualName()
+}
+
+func (p *parser) parseLiteralSet() []ast.Literal {
+	p.expect(token.LBRACE)
+	var lits []ast.Literal
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		lit, ok := p.parseLiteral()
+		if !ok {
+			break
+		}
+		lits = append(lits, lit)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACE)
+	return lits
+}
+
+func (p *parser) parseLiteral() (ast.Literal, bool) {
+	pos := p.tok.Pos
+	neg := p.accept(token.MINUS)
+	switch p.tok.Kind {
+	case token.INT:
+		v, err := strconv.ParseInt(p.tok.Lit, 10, 64)
+		if err != nil {
+			p.errorf(pos, "invalid integer literal %q", p.tok.Lit)
+		}
+		if neg {
+			v = -v
+		}
+		p.next()
+		return ast.Literal{Pos: pos, Kind: token.INT, Int: v}, true
+	case token.STRING:
+		lit := ast.Literal{Pos: pos, Kind: token.STRING, Str: p.tok.Lit}
+		p.next()
+		return lit, true
+	case token.CHAR:
+		lit := ast.Literal{Pos: pos, Kind: token.CHAR, Str: p.tok.Lit}
+		p.next()
+		return lit, true
+	case token.BOOL:
+		lit := ast.Literal{Pos: pos, Kind: token.BOOL, Bool: p.tok.Lit == "true"}
+		p.next()
+		return lit, true
+	default:
+		p.errorf(pos, "expected literal, found %s", p.tok)
+		return ast.Literal{}, false
+	}
+}
+
+func (p *parser) parseValue() ast.ValueExpr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.IDENT:
+		name := p.tok.Lit
+		p.next()
+		return &ast.VarRef{Pos: pos, Name: name}
+	case token.PART:
+		p.next()
+		p.expect(token.LPAREN)
+		idxTok := p.expect(token.INT)
+		idx, _ := strconv.Atoi(idxTok.Lit)
+		p.expect(token.COMMA)
+		sep := p.expect(token.STRING)
+		p.expect(token.COMMA)
+		v := p.expect(token.IDENT)
+		p.expect(token.RPAREN)
+		return &ast.Part{Pos: pos, Index: idx, Sep: sep.Lit, Var: v.Lit}
+	case token.LENGTH:
+		p.next()
+		p.expect(token.LBRACKET)
+		v := p.expect(token.IDENT)
+		p.expect(token.RBRACKET)
+		return &ast.Length{Pos: pos, Var: v.Lit}
+	case token.INT, token.STRING, token.CHAR, token.BOOL, token.MINUS:
+		lit, ok := p.parseLiteral()
+		if !ok {
+			return nil
+		}
+		l := lit
+		return &l
+	default:
+		p.errorf(pos, "expected value expression, found %s", p.tok)
+		p.next()
+		return nil
+	}
+}
+
+func (p *parser) parseRequires(rule *ast.Rule) {
+	for !p.atSectionOrEOF() {
+		pos := p.tok.Pos
+		name := p.expect(token.IDENT)
+		use := &ast.PredicateUse{Pos: pos, Name: name.Lit}
+		p.expect(token.LBRACKET)
+		use.Params = p.parsePredParams()
+		p.expect(token.RBRACKET)
+		rule.Requires = append(rule.Requires, use)
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after REQUIRES predicate")
+			p.skipToSemicolon()
+		}
+	}
+}
+
+func (p *parser) parsePredicateDefs() []*ast.PredicateDef {
+	var defs []*ast.PredicateDef
+	for !p.atSectionOrEOF() {
+		pos := p.tok.Pos
+		name := p.expect(token.IDENT)
+		def := &ast.PredicateDef{Pos: pos, Name: name.Lit}
+		p.expect(token.LBRACKET)
+		def.Params = p.parsePredParams()
+		p.expect(token.RBRACKET)
+		if p.accept(token.AFTER) {
+			lab := p.expect(token.IDENT)
+			def.AfterLabel = lab.Lit
+		}
+		defs = append(defs, def)
+		if !p.accept(token.SEMICOLON) {
+			p.errorf(p.tok.Pos, "expected ';' after predicate")
+			p.skipToSemicolon()
+		}
+	}
+	return defs
+}
+
+func (p *parser) parsePredParams() []ast.PredParam {
+	var params []ast.PredParam
+	if p.tok.Kind == token.RBRACKET {
+		return params
+	}
+	for {
+		switch p.tok.Kind {
+		case token.THIS:
+			params = append(params, ast.PredParam{This: true})
+			p.next()
+		case token.UNDERSCORE:
+			params = append(params, ast.PredParam{Wildcard: true})
+			p.next()
+		case token.IDENT:
+			params = append(params, ast.PredParam{Name: p.tok.Lit})
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "expected predicate parameter, found %s", p.tok)
+			return params
+		}
+		if !p.accept(token.COMMA) {
+			return params
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/token"
+)
+
+const fullRule = `
+// A rule exercising every section.
+SPEC gca.PBEKeySpec
+
+OBJECTS
+    []rune password;
+    []byte salt;
+    int iterationCount;
+    int keylength;
+    string alg;
+    gca.SecretKey key;
+
+FORBIDDEN
+    NewPBEKeySpecNoSalt(password) => c1;
+    InsecureThing;
+
+EVENTS
+    c1: NewPBEKeySpec(password, salt, iterationCount, keylength);
+    cP: ClearPassword();
+    g1: key := Derive(alg);
+    agg := c1 | g1;
+
+ORDER
+    c1, (g1 | cP)?, cP
+
+CONSTRAINTS
+    iterationCount >= 10000;
+    keylength in {128, 192, 256};
+    alg in {"A", "B"} => keylength in {128};
+    instanceof[key, gca.SecretKey];
+    part(0, "/", alg) in {"AES"};
+    length[salt] >= 16;
+    callTo[c1];
+    noCallTo[g1];
+    iterationCount >= 10000 && keylength <= 256;
+    keylength == 128 || keylength == 256;
+
+REQUIRES
+    randomized[salt];
+
+ENSURES
+    speccedKey[this, keylength] after c1;
+    other[key];
+
+NEGATES
+    speccedKey[this, _] after cP;
+`
+
+func mustParse(t *testing.T, src string) *ast.Rule {
+	t.Helper()
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	return r
+}
+
+func TestFullRule(t *testing.T) {
+	r := mustParse(t, fullRule)
+	if r.SpecType != "gca.PBEKeySpec" {
+		t.Errorf("spec type %q", r.SpecType)
+	}
+	if r.Name() != "PBEKeySpec" {
+		t.Errorf("unqualified name %q", r.Name())
+	}
+	if len(r.Objects) != 6 {
+		t.Errorf("objects: %d", len(r.Objects))
+	}
+	if len(r.Forbidden) != 2 {
+		t.Errorf("forbidden: %d", len(r.Forbidden))
+	}
+	if len(r.Events) != 4 {
+		t.Errorf("events: %d", len(r.Events))
+	}
+	if len(r.Constraints) != 10 {
+		t.Errorf("constraints: %d", len(r.Constraints))
+	}
+	if len(r.Requires) != 1 || len(r.Ensures) != 2 || len(r.Negates) != 1 {
+		t.Errorf("predicates: %d/%d/%d", len(r.Requires), len(r.Ensures), len(r.Negates))
+	}
+}
+
+func TestObjectTypes(t *testing.T) {
+	r := mustParse(t, fullRule)
+	cases := map[string]string{
+		"password":       "[]rune",
+		"salt":           "[]byte",
+		"iterationCount": "int",
+		"alg":            "string",
+		"key":            "gca.SecretKey",
+	}
+	for _, o := range r.Objects {
+		if want, ok := cases[o.Name]; ok && o.Type.String() != want {
+			t.Errorf("object %s: type %s, want %s", o.Name, o.Type, want)
+		}
+	}
+}
+
+func TestEventPatterns(t *testing.T) {
+	r := mustParse(t, fullRule)
+	var c1, g1, agg *ast.EventDecl
+	for _, e := range r.Events {
+		switch e.Label {
+		case "c1":
+			c1 = e
+		case "g1":
+			g1 = e
+		case "agg":
+			agg = e
+		}
+	}
+	if c1 == nil || c1.Pattern.Method != "NewPBEKeySpec" || len(c1.Pattern.Params) != 4 {
+		t.Fatalf("c1 malformed: %+v", c1)
+	}
+	if g1.Pattern.Result != "key" || g1.Pattern.Method != "Derive" {
+		t.Errorf("result binding: %+v", g1.Pattern)
+	}
+	if !agg.IsAggregate() || len(agg.Aggregate) != 2 {
+		t.Errorf("aggregate: %+v", agg)
+	}
+}
+
+func TestForbiddenForms(t *testing.T) {
+	r := mustParse(t, fullRule)
+	withRepl := r.Forbidden[0]
+	if withRepl.Method != "NewPBEKeySpecNoSalt" || withRepl.Replacement != "c1" || !withRepl.HasParams {
+		t.Errorf("forbidden with replacement: %+v", withRepl)
+	}
+	bare := r.Forbidden[1]
+	if bare.Method != "InsecureThing" || bare.HasParams || bare.Replacement != "" {
+		t.Errorf("bare forbidden: %+v", bare)
+	}
+}
+
+func TestOrderStructure(t *testing.T) {
+	r := mustParse(t, fullRule)
+	seq, ok := r.Order.(*ast.OrderSeq)
+	if !ok || len(seq.Parts) != 3 {
+		t.Fatalf("order: %s", r.Order)
+	}
+	rep, ok := seq.Parts[1].(*ast.OrderRep)
+	if !ok || rep.Op != ast.RepOpt {
+		t.Fatalf("middle part should be optional: %s", seq.Parts[1])
+	}
+	if _, ok := rep.Sub.(*ast.OrderAlt); !ok {
+		t.Fatalf("optional body should be alternation: %s", rep.Sub)
+	}
+}
+
+func TestOrderRepetitionOps(t *testing.T) {
+	src := `SPEC T
+EVENTS
+    a: A();
+    b: B();
+ORDER
+    a*, b+
+`
+	r := mustParse(t, src)
+	seq := r.Order.(*ast.OrderSeq)
+	if seq.Parts[0].(*ast.OrderRep).Op != ast.RepStar {
+		t.Error("a* not star")
+	}
+	if seq.Parts[1].(*ast.OrderRep).Op != ast.RepPlus {
+		t.Error("b+ not plus")
+	}
+}
+
+func TestConstraintShapes(t *testing.T) {
+	r := mustParse(t, fullRule)
+	if _, ok := r.Constraints[0].(*ast.Rel); !ok {
+		t.Errorf("constraint 0: %T", r.Constraints[0])
+	}
+	if _, ok := r.Constraints[1].(*ast.InSet); !ok {
+		t.Errorf("constraint 1: %T", r.Constraints[1])
+	}
+	if imp, ok := r.Constraints[2].(*ast.Implies); !ok {
+		t.Errorf("constraint 2: %T", r.Constraints[2])
+	} else if _, ok := imp.Antecedent.(*ast.InSet); !ok {
+		t.Errorf("implies antecedent: %T", imp.Antecedent)
+	}
+	if _, ok := r.Constraints[3].(*ast.InstanceOf); !ok {
+		t.Errorf("constraint 3: %T", r.Constraints[3])
+	}
+	if inset, ok := r.Constraints[4].(*ast.InSet); !ok {
+		t.Errorf("constraint 4: %T", r.Constraints[4])
+	} else if p, ok := inset.Val.(*ast.Part); !ok || p.Index != 0 || p.Sep != "/" {
+		t.Errorf("part(): %+v", inset.Val)
+	}
+	if rel, ok := r.Constraints[5].(*ast.Rel); !ok {
+		t.Errorf("constraint 5: %T", r.Constraints[5])
+	} else if _, ok := rel.LHS.(*ast.Length); !ok {
+		t.Errorf("length[]: %T", rel.LHS)
+	}
+	if ct, ok := r.Constraints[6].(*ast.CallTo); !ok || ct.Negate {
+		t.Errorf("callTo: %+v", r.Constraints[6])
+	}
+	if ct, ok := r.Constraints[7].(*ast.CallTo); !ok || !ct.Negate {
+		t.Errorf("noCallTo: %+v", r.Constraints[7])
+	}
+	if bc, ok := r.Constraints[8].(*ast.BoolCombo); !ok || bc.Op != token.AND {
+		t.Errorf("&&: %+v", r.Constraints[8])
+	}
+	if bc, ok := r.Constraints[9].(*ast.BoolCombo); !ok || bc.Op != token.OROR {
+		t.Errorf("||: %+v", r.Constraints[9])
+	}
+}
+
+func TestPredicateForms(t *testing.T) {
+	r := mustParse(t, fullRule)
+	e := r.Ensures[0]
+	if e.Name != "speccedKey" || e.AfterLabel != "c1" {
+		t.Errorf("ensures: %+v", e)
+	}
+	if !e.Params[0].This {
+		t.Error("first parameter should be 'this'")
+	}
+	n := r.Negates[0]
+	if n.AfterLabel != "cP" || !n.Params[1].Wildcard {
+		t.Errorf("negates: %+v", n)
+	}
+}
+
+func TestNeverTypeOfConstraint(t *testing.T) {
+	r := mustParse(t, `SPEC T
+OBJECTS
+    []rune password;
+CONSTRAINTS
+    neverTypeOf[password, string];
+    neverTypeOf[password, []byte];
+`)
+	nt, ok := r.Constraints[0].(*ast.NeverTypeOf)
+	if !ok || nt.Var != "password" || nt.Type != "string" {
+		t.Fatalf("neverTypeOf: %+v", r.Constraints[0])
+	}
+	nt2 := r.Constraints[1].(*ast.NeverTypeOf)
+	if nt2.Type != "[]byte" {
+		t.Errorf("slice type operand: %+v", nt2)
+	}
+}
+
+func TestNegativeLiteralInSet(t *testing.T) {
+	r := mustParse(t, `SPEC T
+OBJECTS
+    int x;
+EVENTS
+    e: E(x);
+ORDER
+    e
+CONSTRAINTS
+    x in {-1, 0, 1};
+`)
+	set := r.Constraints[0].(*ast.InSet)
+	if set.Lits[0].Int != -1 {
+		t.Errorf("negative literal: %v", set.Lits[0])
+	}
+}
+
+func TestSyntaxErrorRecovery(t *testing.T) {
+	// One broken constraint must not swallow the rest of the section.
+	src := `SPEC T
+OBJECTS
+    int x;
+    int y;
+EVENTS
+    e: E(x, y);
+ORDER
+    e
+CONSTRAINTS
+    x @@@ broken;
+    y >= 5;
+`
+	r, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected a syntax error")
+	}
+	found := false
+	for _, c := range r.Constraints {
+		if rel, ok := c.(*ast.Rel); ok && rel.String() == "y >= 5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("parser did not recover; constraints: %v", r.Constraints)
+	}
+}
+
+func TestMissingSpecReported(t *testing.T) {
+	_, err := Parse("OBJECTS\nint x;\n")
+	if err == nil || !strings.Contains(err.Error(), "SPEC") {
+		t.Fatalf("missing SPEC not reported: %v", err)
+	}
+}
+
+func TestErrorFloodCapped(t *testing.T) {
+	bad := strings.Repeat("@", 500)
+	_, err := Parse("SPEC T\nCONSTRAINTS\n" + bad)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > 120 {
+		t.Errorf("error flood not capped: %d lines", n)
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	r := mustParse(t, "SPEC gca.Thing\nOBJECTS\nEVENTS\nCONSTRAINTS\n")
+	if len(r.Objects) != 0 || len(r.Events) != 0 || len(r.Constraints) != 0 {
+		t.Errorf("empty sections produced content: %+v", r)
+	}
+}
+
+func TestStringsInOrderRoundTrip(t *testing.T) {
+	r := mustParse(t, fullRule)
+	s := r.Order.String()
+	if !strings.Contains(s, "c1") || !strings.Contains(s, "?") {
+		t.Errorf("order string: %q", s)
+	}
+}

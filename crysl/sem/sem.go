@@ -1,0 +1,339 @@
+// Package sem performs semantic analysis of parsed GoCrySL rules.
+//
+// Checks implemented (each produces a positioned diagnostic):
+//
+//   - duplicate object declarations; unknown object references in events,
+//     constraints and predicates;
+//   - duplicate event labels; aggregate labels referencing unknown labels;
+//     aggregate cycles;
+//   - ORDER references to unknown labels;
+//   - forbidden-event replacements referencing unknown labels;
+//   - ENSURES/NEGATES "after" labels referencing unknown events;
+//   - type sanity of relational constraints (int compared with int, …);
+//   - predicate parameter references.
+//
+// Because the generator emits code directly from rules, the paper's
+// guarantee "generated code is free of syntax and type errors" rests on
+// this analysis catching malformed specifications early.
+package sem
+
+import (
+	"errors"
+	"fmt"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/token"
+)
+
+// Diagnostic is a semantic error in a rule.
+type Diagnostic struct {
+	Rule string
+	Pos  token.Pos
+	Msg  string
+}
+
+func (d *Diagnostic) Error() string {
+	return fmt.Sprintf("%s: %s: %s", d.Rule, d.Pos, d.Msg)
+}
+
+type checker struct {
+	rule    *ast.Rule
+	diags   []error
+	objects map[string]*ast.Object
+	labels  map[string]*ast.EventDecl
+}
+
+// Check analyses a rule and returns a joined error of all diagnostics, or
+// nil when the rule is well-formed.
+func Check(rule *ast.Rule) error {
+	c := &checker{
+		rule:    rule,
+		objects: map[string]*ast.Object{},
+		labels:  map[string]*ast.EventDecl{},
+	}
+	c.checkObjects()
+	c.checkEvents()
+	c.checkOrder()
+	c.checkForbidden()
+	c.checkConstraints()
+	c.checkPredicates()
+	if len(c.diags) > 0 {
+		return errors.Join(c.diags...)
+	}
+	return nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, &Diagnostic{Rule: c.rule.SpecType, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) checkObjects() {
+	for _, o := range c.rule.Objects {
+		if prev, ok := c.objects[o.Name]; ok {
+			c.errorf(o.Pos, "object %q redeclared (previous declaration at %s)", o.Name, prev.Pos)
+			continue
+		}
+		if o.Name == "this" || o.Name == "_" {
+			c.errorf(o.Pos, "object name %q is reserved", o.Name)
+			continue
+		}
+		c.objects[o.Name] = o
+	}
+}
+
+func (c *checker) knownObject(name string) bool {
+	_, ok := c.objects[name]
+	return ok
+}
+
+func (c *checker) checkEvents() {
+	for _, e := range c.rule.Events {
+		if prev, ok := c.labels[e.Label]; ok {
+			c.errorf(e.Pos, "event label %q redeclared (previous declaration at %s)", e.Label, prev.Pos)
+			continue
+		}
+		c.labels[e.Label] = e
+	}
+	// Aggregate member resolution and cycle detection.
+	for _, e := range c.rule.Events {
+		if !e.IsAggregate() {
+			for _, p := range e.Pattern.Params {
+				if !p.Wildcard && p.Name != "this" && !c.knownObject(p.Name) {
+					c.errorf(e.Pos, "event %q references undeclared object %q", e.Label, p.Name)
+				}
+			}
+			if r := e.Pattern.Result; r != "" && r != "this" && !c.knownObject(r) {
+				c.errorf(e.Pos, "event %q binds result to undeclared object %q", e.Label, r)
+			}
+			continue
+		}
+		for _, m := range e.Aggregate {
+			if _, ok := c.labels[m]; !ok {
+				c.errorf(e.Pos, "aggregate %q references unknown label %q", e.Label, m)
+			}
+		}
+	}
+	c.checkAggregateCycles()
+}
+
+func (c *checker) checkAggregateCycles() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(label string) bool
+	visit = func(label string) bool {
+		switch color[label] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[label] = grey
+		if decl, ok := c.labels[label]; ok && decl.IsAggregate() {
+			for _, m := range decl.Aggregate {
+				if !visit(m) {
+					c.errorf(decl.Pos, "aggregate cycle through label %q", label)
+					break
+				}
+			}
+		}
+		color[label] = black
+		return true
+	}
+	for _, e := range c.rule.Events {
+		if e.IsAggregate() {
+			visit(e.Label)
+		}
+	}
+}
+
+func (c *checker) checkOrder() {
+	if c.rule.Order == nil {
+		return
+	}
+	var walk func(e ast.OrderExpr)
+	walk = func(e ast.OrderExpr) {
+		switch e := e.(type) {
+		case *ast.OrderRef:
+			if _, ok := c.labels[e.Label]; !ok {
+				c.errorf(e.Pos, "ORDER references unknown event label %q", e.Label)
+			}
+		case *ast.OrderSeq:
+			for _, p := range e.Parts {
+				walk(p)
+			}
+		case *ast.OrderAlt:
+			for _, p := range e.Parts {
+				walk(p)
+			}
+		case *ast.OrderRep:
+			walk(e.Sub)
+		}
+	}
+	walk(c.rule.Order)
+}
+
+func (c *checker) checkForbidden() {
+	for _, f := range c.rule.Forbidden {
+		if f.Replacement != "" {
+			if _, ok := c.labels[f.Replacement]; !ok {
+				c.errorf(f.Pos, "forbidden event %q names unknown replacement label %q", f.Method, f.Replacement)
+			}
+		}
+		for _, p := range f.Params {
+			if !p.Wildcard && p.Name != "this" && !c.knownObject(p.Name) {
+				c.errorf(f.Pos, "forbidden event %q references undeclared object %q", f.Method, p.Name)
+			}
+		}
+	}
+}
+
+func (c *checker) checkConstraints() {
+	for _, con := range c.rule.Constraints {
+		c.checkConstraint(con)
+	}
+}
+
+func (c *checker) checkConstraint(con ast.Constraint) {
+	switch con := con.(type) {
+	case *ast.InSet:
+		c.checkValue(con.Val)
+		c.checkSetHomogeneity(con)
+	case *ast.Rel:
+		c.checkValue(con.LHS)
+		c.checkValue(con.RHS)
+		c.checkRelTypes(con)
+	case *ast.Implies:
+		c.checkConstraint(con.Antecedent)
+		c.checkConstraint(con.Consequent)
+	case *ast.BoolCombo:
+		c.checkConstraint(con.LHS)
+		c.checkConstraint(con.RHS)
+	case *ast.InstanceOf:
+		if !c.knownObject(con.Var) {
+			c.errorf(con.Pos, "instanceof references undeclared object %q", con.Var)
+		}
+	case *ast.NeverTypeOf:
+		if !c.knownObject(con.Var) {
+			c.errorf(con.Pos, "neverTypeOf references undeclared object %q", con.Var)
+		}
+	case *ast.CallTo:
+		for _, l := range con.Labels {
+			if _, ok := c.labels[l]; !ok {
+				c.errorf(con.Pos, "%s references unknown event label %q", map[bool]string{true: "noCallTo", false: "callTo"}[con.Negate], l)
+			}
+		}
+	}
+}
+
+func (c *checker) checkValue(v ast.ValueExpr) {
+	switch v := v.(type) {
+	case *ast.VarRef:
+		if !c.knownObject(v.Name) {
+			c.errorf(v.Pos, "constraint references undeclared object %q", v.Name)
+		}
+	case *ast.Part:
+		if !c.knownObject(v.Var) {
+			c.errorf(v.Pos, "part(...) references undeclared object %q", v.Var)
+		}
+		if o, ok := c.objects[v.Var]; ok && (o.Type.Slice || o.Type.Name != "string") {
+			c.errorf(v.Pos, "part(...) requires a string object, %q has type %s", v.Var, o.Type)
+		}
+		if v.Index < 0 {
+			c.errorf(v.Pos, "part(...) index must be non-negative")
+		}
+		if v.Sep == "" {
+			c.errorf(v.Pos, "part(...) separator must be non-empty")
+		}
+	case *ast.Length:
+		if !c.knownObject(v.Var) {
+			c.errorf(v.Pos, "length[...] references undeclared object %q", v.Var)
+		}
+	}
+}
+
+// typeOfValue returns the token kind a value expression produces, or ILLEGAL
+// when unknown.
+func (c *checker) typeOfValue(v ast.ValueExpr) token.Kind {
+	switch v := v.(type) {
+	case *ast.Literal:
+		return v.Kind
+	case *ast.Part:
+		return token.STRING
+	case *ast.Length:
+		return token.INT
+	case *ast.VarRef:
+		o, ok := c.objects[v.Name]
+		if !ok {
+			return token.ILLEGAL
+		}
+		if o.Type.Slice {
+			return token.ILLEGAL // slices have no literal constraint type
+		}
+		switch o.Type.Name {
+		case "int":
+			return token.INT
+		case "string":
+			return token.STRING
+		case "bool":
+			return token.BOOL
+		}
+	}
+	return token.ILLEGAL
+}
+
+func (c *checker) checkRelTypes(r *ast.Rel) {
+	lt := c.typeOfValue(r.LHS)
+	rt := c.typeOfValue(r.RHS)
+	if lt == token.ILLEGAL || rt == token.ILLEGAL {
+		return // unknown side: other diagnostics already cover undeclared refs
+	}
+	compatible := lt == rt || (lt == token.CHAR && rt == token.STRING) || (lt == token.STRING && rt == token.CHAR)
+	if !compatible {
+		c.errorf(r.Pos, "relational constraint compares %s with %s", lt, rt)
+	}
+	if (lt == token.BOOL || rt == token.BOOL) && r.Op != token.EQ && r.Op != token.NEQ {
+		c.errorf(r.Pos, "boolean values only support == and !=")
+	}
+}
+
+func (c *checker) checkSetHomogeneity(s *ast.InSet) {
+	vt := c.typeOfValue(s.Val)
+	for _, lit := range s.Lits {
+		if vt != token.ILLEGAL && lit.Kind != vt && !(vt == token.STRING && lit.Kind == token.CHAR) {
+			c.errorf(lit.Pos, "set literal %s does not match constrained type %s", lit.String(), vt)
+		}
+	}
+}
+
+func (c *checker) checkPredicates() {
+	checkParams := func(pos token.Pos, name string, params []ast.PredParam) {
+		for _, p := range params {
+			if !p.This && !p.Wildcard && !c.knownObject(p.Name) {
+				c.errorf(pos, "predicate %q references undeclared object %q", name, p.Name)
+			}
+		}
+	}
+	for _, u := range c.rule.Requires {
+		checkParams(u.Pos, u.Name, u.Params)
+	}
+	for _, d := range c.rule.Ensures {
+		checkParams(d.Pos, d.Name, d.Params)
+		if d.AfterLabel != "" {
+			if _, ok := c.labels[d.AfterLabel]; !ok {
+				c.errorf(d.Pos, "ENSURES %q names unknown event label %q after 'after'", d.Name, d.AfterLabel)
+			}
+		}
+	}
+	for _, d := range c.rule.Negates {
+		checkParams(d.Pos, d.Name, d.Params)
+		if d.AfterLabel != "" {
+			if _, ok := c.labels[d.AfterLabel]; !ok {
+				c.errorf(d.Pos, "NEGATES %q names unknown event label %q after 'after'", d.Name, d.AfterLabel)
+			}
+		}
+	}
+}

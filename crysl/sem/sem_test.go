@@ -1,0 +1,235 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/parser"
+)
+
+// check parses and semantically checks a rule, returning the error.
+func check(t *testing.T, src string) error {
+	t.Helper()
+	rule, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("syntax must be valid for this test: %v", err)
+	}
+	return Check(rule)
+}
+
+func wantDiag(t *testing.T, src, fragment string) {
+	t.Helper()
+	err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected diagnostic containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("expected diagnostic containing %q, got: %v", fragment, err)
+	}
+}
+
+func TestValidRulePasses(t *testing.T) {
+	src := `SPEC gca.Thing
+OBJECTS
+    int n;
+    []byte data;
+EVENTS
+    c: NewThing(n);
+    u: Use(data);
+ORDER
+    c, u?
+CONSTRAINTS
+    n >= 1;
+ENSURES
+    done[this] after u;
+`
+	if err := check(t, src); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+}
+
+func TestDuplicateObject(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    int x;
+    string x;
+`, "redeclared")
+}
+
+func TestReservedObjectNames(t *testing.T) {
+	// The parser already rejects "_" and "this" as object names; the
+	// semantic check is the defence-in-depth layer for AST built
+	// programmatically, so construct the AST directly.
+	rule := &ast.Rule{
+		SpecType: "T",
+		Objects:  []*ast.Object{{Type: ast.Type{Name: "int"}, Name: "this"}},
+	}
+	err := Check(rule)
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("expected reserved-name diagnostic, got %v", err)
+	}
+}
+
+func TestUndeclaredEventParam(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: New(missing);
+`, `undeclared object "missing"`)
+}
+
+func TestUndeclaredResultBinding(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: ghost := New();
+`, `undeclared object "ghost"`)
+}
+
+func TestDuplicateEventLabel(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: A();
+    c: B();
+`, "redeclared")
+}
+
+func TestAggregateUnknownMember(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    g := a | b;
+`, "unknown label")
+}
+
+func TestAggregateCycle(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    a := b;
+    b := a;
+`, "cycle")
+}
+
+func TestOrderUnknownLabel(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: New();
+ORDER
+    c, nope
+`, "unknown event label")
+}
+
+func TestForbiddenUnknownReplacement(t *testing.T) {
+	wantDiag(t, `SPEC T
+FORBIDDEN
+    Bad() => good;
+`, "unknown replacement")
+}
+
+func TestConstraintUndeclaredVar(t *testing.T) {
+	wantDiag(t, `SPEC T
+CONSTRAINTS
+    mystery >= 1;
+`, `undeclared object "mystery"`)
+}
+
+func TestPartRequiresString(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    int n;
+CONSTRAINTS
+    part(0, "/", n) in {"x"};
+`, "requires a string object")
+}
+
+func TestPartEmptySeparator(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    string s;
+CONSTRAINTS
+    part(0, "", s) in {"x"};
+`, "separator")
+}
+
+func TestRelTypeMismatch(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    int n;
+    string s;
+CONSTRAINTS
+    n == s;
+`, "compares")
+}
+
+func TestBoolOnlyEquality(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    bool b;
+CONSTRAINTS
+    b >= true;
+`, "only support == and !=")
+}
+
+func TestSetLiteralTypeMismatch(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    int n;
+CONSTRAINTS
+    n in {1, "two"};
+`, "does not match")
+}
+
+func TestEnsuresUnknownAfterLabel(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: New();
+ENSURES
+    p[this] after nothere;
+`, "unknown event label")
+}
+
+func TestNegatesUnknownAfterLabel(t *testing.T) {
+	wantDiag(t, `SPEC T
+EVENTS
+    c: New();
+NEGATES
+    p[this] after nothere;
+`, "unknown event label")
+}
+
+func TestPredicateUndeclaredParam(t *testing.T) {
+	wantDiag(t, `SPEC T
+REQUIRES
+    p[ghost];
+`, `undeclared object "ghost"`)
+}
+
+func TestCallToUnknownLabel(t *testing.T) {
+	wantDiag(t, `SPEC T
+OBJECTS
+    int x;
+CONSTRAINTS
+    callTo[nothing];
+`, "unknown event label")
+}
+
+func TestInstanceofUndeclaredVar(t *testing.T) {
+	wantDiag(t, `SPEC T
+CONSTRAINTS
+    instanceof[ghost, gca.Key];
+`, "undeclared")
+}
+
+func TestMultipleDiagnosticsReported(t *testing.T) {
+	err := check(t, `SPEC T
+OBJECTS
+    int x;
+    int x;
+EVENTS
+    c: New(ghost);
+`)
+	if err == nil {
+		t.Fatal("expected diagnostics")
+	}
+	if !strings.Contains(err.Error(), "redeclared") || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("both diagnostics expected, got: %v", err)
+	}
+}

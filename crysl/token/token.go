@@ -1,0 +1,207 @@
+// Package token defines the lexical tokens of the GoCrySL specification
+// language, a Go-flavoured dialect of CrySL (Krüger et al., ECOOP 2018)
+// as used by the CogniCryptGEN code generator (CGO 2020).
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // password, NewPBEKeySpec, gca
+	INT    // 10000
+	STRING // "AES/GCM"
+	CHAR   // 'a'
+	BOOL   // true, false
+
+	// Punctuation.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	DOT       // .
+	UNDERSCORE
+
+	// Operators.
+	ASSIGN  // :=
+	OR      // |
+	OPT     // ?
+	STAR    // *
+	PLUS    // +
+	MINUS   // -
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	LEQ     // <=
+	GT      // >
+	GEQ     // >=
+	IMPLIES // =>
+	AND     // &&
+	OROR    // ||
+	NOT     // !
+
+	// Type tokens.
+	SLICE // [] prefix in []byte, []rune
+
+	// Keywords (section headers and in-language keywords).
+	SPEC
+	OBJECTS
+	FORBIDDEN
+	EVENTS
+	ORDER
+	CONSTRAINTS
+	REQUIRES
+	ENSURES
+	NEGATES
+	IN
+	AFTER
+	THIS
+	INSTANCEOF
+	PART
+	LENGTH
+	NEVERTYPEOF
+	CALLTO
+	NOCALLTO
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:     "ILLEGAL",
+	EOF:         "EOF",
+	IDENT:       "IDENT",
+	INT:         "INT",
+	STRING:      "STRING",
+	CHAR:        "CHAR",
+	BOOL:        "BOOL",
+	LPAREN:      "(",
+	RPAREN:      ")",
+	LBRACE:      "{",
+	RBRACE:      "}",
+	LBRACKET:    "[",
+	RBRACKET:    "]",
+	COMMA:       ",",
+	SEMICOLON:   ";",
+	COLON:       ":",
+	DOT:         ".",
+	UNDERSCORE:  "_",
+	ASSIGN:      ":=",
+	OR:          "|",
+	OPT:         "?",
+	STAR:        "*",
+	PLUS:        "+",
+	MINUS:       "-",
+	EQ:          "==",
+	NEQ:         "!=",
+	LT:          "<",
+	LEQ:         "<=",
+	GT:          ">",
+	GEQ:         ">=",
+	IMPLIES:     "=>",
+	AND:         "&&",
+	OROR:        "||",
+	NOT:         "!",
+	SLICE:       "[]",
+	SPEC:        "SPEC",
+	OBJECTS:     "OBJECTS",
+	FORBIDDEN:   "FORBIDDEN",
+	EVENTS:      "EVENTS",
+	ORDER:       "ORDER",
+	CONSTRAINTS: "CONSTRAINTS",
+	REQUIRES:    "REQUIRES",
+	ENSURES:     "ENSURES",
+	NEGATES:     "NEGATES",
+	IN:          "in",
+	AFTER:       "after",
+	THIS:        "this",
+	INSTANCEOF:  "instanceof",
+	PART:        "part",
+	LENGTH:      "length",
+	NEVERTYPEOF: "neverTypeOf",
+	CALLTO:      "callTo",
+	NOCALLTO:    "noCallTo",
+}
+
+// String returns the human-readable name of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"SPEC":        SPEC,
+	"OBJECTS":     OBJECTS,
+	"FORBIDDEN":   FORBIDDEN,
+	"EVENTS":      EVENTS,
+	"ORDER":       ORDER,
+	"CONSTRAINTS": CONSTRAINTS,
+	"REQUIRES":    REQUIRES,
+	"ENSURES":     ENSURES,
+	"NEGATES":     NEGATES,
+	"in":          IN,
+	"after":       AFTER,
+	"this":        THIS,
+	"instanceof":  INSTANCEOF,
+	"part":        PART,
+	"length":      LENGTH,
+	"neverTypeOf": NEVERTYPEOF,
+	"callTo":      CALLTO,
+	"noCallTo":    NOCALLTO,
+	"true":        BOOL,
+	"false":       BOOL,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsSection reports whether the kind starts a rule section.
+func (k Kind) IsSection() bool {
+	switch k {
+	case OBJECTS, FORBIDDEN, EVENTS, ORDER, CONSTRAINTS, REQUIRES, ENSURES, NEGATES:
+		return true
+	}
+	return false
+}
+
+// Pos is a position in a rule source file: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its kind, literal text, and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, CHAR, BOOL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

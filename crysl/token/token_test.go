@@ -1,0 +1,68 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"SPEC":        SPEC,
+		"ORDER":       ORDER,
+		"in":          IN,
+		"after":       AFTER,
+		"this":        THIS,
+		"instanceof":  INSTANCEOF,
+		"part":        PART,
+		"length":      LENGTH,
+		"neverTypeOf": NEVERTYPEOF,
+		"callTo":      CALLTO,
+		"noCallTo":    NOCALLTO,
+		"true":        BOOL,
+		"false":       BOOL,
+		"salt":        IDENT,
+		"Order":       IDENT, // case-sensitive
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestIsSection(t *testing.T) {
+	sections := []Kind{OBJECTS, FORBIDDEN, EVENTS, ORDER, CONSTRAINTS, REQUIRES, ENSURES, NEGATES}
+	for _, k := range sections {
+		if !k.IsSection() {
+			t.Errorf("%v should be a section", k)
+		}
+	}
+	for _, k := range []Kind{SPEC, IDENT, IN, EOF, LBRACE} {
+		if k.IsSection() {
+			t.Errorf("%v should not be a section", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SPEC.String() != "SPEC" || LPAREN.String() != "(" || ASSIGN.String() != ":=" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9999).String() != "Kind(9999)" {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "salt"}
+	if tok.String() != `IDENT("salt")` {
+		t.Errorf("got %q", tok.String())
+	}
+	tok = Token{Kind: SEMICOLON}
+	if tok.String() != ";" {
+		t.Errorf("got %q", tok.String())
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("position rendering")
+	}
+}

@@ -1,0 +1,24 @@
+// Package cognicryptgen is a Go reproduction of "CogniCryptGEN: Generating
+// Code for the Secure Usage of Crypto APIs" (Krüger, Ali, Bodden —
+// CGO 2020).
+//
+// The module is organised as a set of focused packages:
+//
+//   - crysl (and its subpackages token, lexer, ast, parser, sem, fsm,
+//     constraint): the GoCrySL specification language — parsing, semantic
+//     analysis, ORDER automata, and constraint evaluation.
+//   - gca: a JCA-style stateful crypto façade over the Go standard
+//     library, the API whose correct usage the rules specify.
+//   - rules: the embedded GoCrySL rule set for gca.
+//   - gen (+ gen/fluent): the CogniCryptGEN code generator — the paper's
+//     primary contribution.
+//   - templates: the eleven use-case code templates of Table 1.
+//   - analysis: the CogniCryptSAST-style static misuse analyzer driven by
+//     the same rules.
+//   - oldgen (+ oldgen/clafer, oldgen/xsl): the XSL+Clafer baseline
+//     generator the paper compares against.
+//   - effort: the RQ4/RQ5 artefact-effort metrics.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package cognicryptgen

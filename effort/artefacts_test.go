@@ -1,0 +1,81 @@
+package effort
+
+import (
+	"go/format"
+	"strings"
+	"testing"
+
+	"cognicryptgen/oldgen"
+	"cognicryptgen/oldgen/clafer"
+	"cognicryptgen/oldgen/xsl"
+)
+
+// runStudyArtefact drives a study XSL+Clafer artefact pair through the
+// real old-gen engines, proving the RQ5 "before"/"after" materials are
+// executable artefacts rather than prose.
+func runStudyArtefact(t *testing.T, cfrSrc, xslSrc, task string) string {
+	t.Helper()
+	model, err := clafer.Parse(cfrSrc)
+	if err != nil {
+		t.Fatalf("clafer: %v", err)
+	}
+	cfg, err := model.Solve(task, nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	input, err := xsl.ParseInput(configXML(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sheet, err := xsl.ParseStylesheet(xslSrc)
+	if err != nil {
+		t.Fatalf("stylesheet: %v", err)
+	}
+	text, err := sheet.Transform(input)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	formatted, err := format.Source([]byte(text))
+	if err != nil {
+		t.Fatalf("output does not parse as Go: %v\n%s", err, text)
+	}
+	return string(formatted)
+}
+
+// configXML delegates to the real old-gen serialiser.
+func configXML(cfg clafer.Config) string {
+	return oldgen.ConfigXML(cfg)
+}
+
+func TestStudyArtefactsExecuteBeforeAndAfter(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfr, xsl string
+		task     string
+		wantFrag string
+	}{
+		{"sym before", oldSymCfrBefore, oldSymXSLBefore, "SymmetricEncryption", "NewIVParameterSpec(iv)"},
+		{"sym after", oldSymCfrAfter, oldSymXSLAfter, "SymmetricEncryption", "secureRandom.NextBytes(iv)"},
+		{"hash before", oldHashingCfrBefore, oldHashingXSLBefore, "Hashing", "Hash(s string)"},
+		{"hash after", oldHashingCfrAfter, oldHashingXSLAfter, "Hashing", "HashFile(path string)"},
+	}
+	for _, c := range cases {
+		out := runStudyArtefact(t, c.cfr, c.xsl, c.task)
+		if !strings.Contains(out, c.wantFrag) {
+			t.Errorf("%s: output missing %q:\n%s", c.name, c.wantFrag, out)
+		}
+	}
+}
+
+// TestStudyTaskFixesBehaviour: after Task 1's name fix, the generated
+// hashing code must carry the corrected algorithm name.
+func TestStudyTaskFixesBehaviour(t *testing.T) {
+	before := runStudyArtefact(t, oldHashingCfrBefore, oldHashingXSLBefore, "Hashing")
+	after := runStudyArtefact(t, oldHashingCfrAfter, oldHashingXSLAfter, "Hashing")
+	if !strings.Contains(before, `NewMessageDigest("SHA256")`) {
+		t.Errorf("before artefact should produce the wrong name:\n%s", before)
+	}
+	if !strings.Contains(after, `NewMessageDigest("SHA-256")`) {
+		t.Errorf("after artefact should produce the fixed name:\n%s", after)
+	}
+}

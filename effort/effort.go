@@ -1,0 +1,215 @@
+// Package effort computes the artefact-effort metrics of the paper's RQ4
+// (Table 2) and a mechanical proxy for the RQ5 user-study tasks.
+//
+// RQ4 compares the lines of code a crypto expert must write to implement a
+// use case: XSL + Clafer for CogniCrypt_old-gen versus a single Go
+// template for CogniCryptGEN. RQ5's SUS/NPS numbers came from humans and
+// are not reproducible mechanically; what is reproducible is the *work*
+// each study task requires on each backend — which artefacts must change,
+// in how many lines and tokens, and in how many languages. Both study
+// tasks are implemented here as concrete artefact edits and measured with
+// a line diff.
+package effort
+
+import (
+	"fmt"
+	"strings"
+
+	"cognicryptgen/oldgen"
+	"cognicryptgen/templates"
+)
+
+// Table2Row is one row of the reproduced Table 2, with the paper's values
+// alongside the measured ones.
+type Table2Row struct {
+	UseCase int
+	Name    string
+
+	// Measured artefact sizes in this repository.
+	XSLLOC      int
+	ClaferLOC   int
+	TemplateLOC int
+
+	// Paper-reported artefact sizes (CGO 2020, Table 2; Java ecosystem).
+	PaperXSL      int
+	PaperClafer   int
+	PaperTemplate int
+}
+
+// paperTable2 holds the published Table 2 values, keyed by use-case row.
+var paperTable2 = map[int][3]int{ // XSL, Clafer, Java template
+	1:  {140, 117, 57},
+	2:  {138, 117, 57},
+	3:  {111, 117, 51},
+	5:  {158, 90, 74},
+	6:  {156, 90, 74},
+	7:  {129, 90, 68},
+	9:  {139, 67, 55},
+	10: {115, 43, 40},
+}
+
+// Table2 measures artefact sizes for the eight old-gen use cases.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, ouc := range oldgen.UseCases {
+		xslLOC, cfrLOC, err := oldgen.ArtefactLOC(ouc)
+		if err != nil {
+			return nil, err
+		}
+		guc, err := templates.ByID(ouc.ID)
+		if err != nil {
+			return nil, err
+		}
+		src, err := templates.Source(guc)
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTable2[ouc.ID]
+		rows = append(rows, Table2Row{
+			UseCase:       ouc.ID,
+			Name:          ouc.Name,
+			XSLLOC:        xslLOC,
+			ClaferLOC:     cfrLOC,
+			TemplateLOC:   templates.GlueLOC(src),
+			PaperXSL:      paper[0],
+			PaperClafer:   paper[1],
+			PaperTemplate: paper[2],
+		})
+	}
+	return rows, nil
+}
+
+// Summary aggregates Table 2 the way the paper's §5.3 does: average lines
+// per use case per backend, and the GEN/old-gen ratio.
+type Summary struct {
+	AvgXSL, AvgClafer, AvgOldTotal float64
+	AvgTemplate                    float64
+	Ratio                          float64 // template / (xsl+clafer)
+}
+
+// Summarize computes the Table 2 aggregate.
+func Summarize(rows []Table2Row) Summary {
+	var s Summary
+	if len(rows) == 0 {
+		return s
+	}
+	for _, r := range rows {
+		s.AvgXSL += float64(r.XSLLOC)
+		s.AvgClafer += float64(r.ClaferLOC)
+		s.AvgTemplate += float64(r.TemplateLOC)
+	}
+	n := float64(len(rows))
+	s.AvgXSL /= n
+	s.AvgClafer /= n
+	s.AvgTemplate /= n
+	s.AvgOldTotal = s.AvgXSL + s.AvgClafer
+	if s.AvgOldTotal > 0 {
+		s.Ratio = s.AvgTemplate / s.AvgOldTotal
+	}
+	return s
+}
+
+// Edit is one artefact change of a study task.
+type Edit struct {
+	Artefact string // file-ish name, e.g. "hashing.go", "uc11_hashing.xsl"
+	Language string // "Go", "GoCrySL", "XSL", "Clafer"
+	Before   string
+	After    string
+}
+
+// TaskEffort is the measured mechanical effort of one study task on one
+// backend.
+type TaskEffort struct {
+	Task             string
+	Backend          string // "CogniCryptGEN" or "old-gen"
+	ArtefactsTouched int
+	LinesChanged     int // added + removed
+	TokensChanged    int // whitespace-separated tokens added + removed
+	Languages        []string
+}
+
+// Measure diffs a task's edits.
+func Measure(task, backend string, edits []Edit) TaskEffort {
+	te := TaskEffort{Task: task, Backend: backend}
+	langs := map[string]bool{}
+	for _, e := range edits {
+		added, removed := DiffLines(e.Before, e.After)
+		if added+removed == 0 {
+			continue
+		}
+		te.ArtefactsTouched++
+		te.LinesChanged += added + removed
+		ta, tr := diffTokens(e.Before, e.After)
+		te.TokensChanged += ta + tr
+		langs[e.Language] = true
+	}
+	for l := range langs {
+		te.Languages = append(te.Languages, l)
+	}
+	sortStrings(te.Languages)
+	return te
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// DiffLines returns the number of added and removed lines between two
+// texts, using an LCS diff over trimmed lines.
+func DiffLines(before, after string) (added, removed int) {
+	a := nonEmptyLines(before)
+	b := nonEmptyLines(after)
+	lcs := lcsLen(a, b)
+	return len(b) - lcs, len(a) - lcs
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		t := strings.TrimSpace(l)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func lcsLen(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// diffTokens counts added and removed whitespace-separated tokens.
+func diffTokens(before, after string) (added, removed int) {
+	a := strings.Fields(before)
+	b := strings.Fields(after)
+	lcs := lcsLen(a, b)
+	return len(b) - lcs, len(a) - lcs
+}
+
+// String renders the effort for the rq5 table.
+func (te TaskEffort) String() string {
+	return fmt.Sprintf("%-18s %-14s artefacts=%d lines=%d tokens=%d languages=%s",
+		te.Task, te.Backend, te.ArtefactsTouched, te.LinesChanged, te.TokensChanged,
+		strings.Join(te.Languages, "+"))
+}

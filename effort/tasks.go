@@ -1,0 +1,345 @@
+// RQ5 task simulation: the two user-study tasks of paper §5.4, implemented
+// as concrete artefact edits on both backends and measured mechanically.
+//
+// Task 1 (based on the hashing use case): (1) change a solution that
+// hashes strings into one that hashes files, and (2) fix the name of the
+// algorithm the generator produces.
+//
+// Task 2 (based on the symmetric-encryption use case): (1) add proper
+// randomization of the initialization vector, and (2) prohibit the code
+// generator from using an outdated algorithm.
+//
+// On CogniCryptGEN both tasks are Go-template plus GoCrySL-rule edits; on
+// old-gen they are XSL plus Clafer edits — and the algorithm name of
+// Task 1 is duplicated between the XSL template and the Clafer model, so
+// it must be fixed twice (the consistency hazard §4 describes).
+package effort
+
+import (
+	"fmt"
+	"strings"
+
+	"cognicryptgen/rules"
+	"cognicryptgen/templates"
+)
+
+// PaperRQ5 records the published RQ5 outcomes for EXPERIMENTS.md and the
+// benchtables harness. SUS/NPS came from human participants and are
+// reported verbatim, not re-measured.
+type PaperRQ5 struct {
+	SUSGen, SUSOld         float64
+	NPSGen, NPSOld         float64
+	EncryptionTaskGenDelta string // completion-time delta, paper §5.4
+	HashingTaskGenDelta    string
+}
+
+// PaperRQ5Values are the numbers reported in §5.4.
+var PaperRQ5Values = PaperRQ5{
+	SUSGen: 76.3, SUSOld: 50.8,
+	NPSGen: 56.3, NPSOld: -43.7,
+	EncryptionTaskGenDelta: "38% slower with GEN",
+	HashingTaskGenDelta:    "63.2% faster with GEN",
+}
+
+// Task1Edits returns the artefact edits of the hashing task for both
+// backends.
+func Task1Edits() (genEdits, oldEdits []Edit, err error) {
+	// --- CogniCryptGEN side ---
+	uc, err := templates.ByID(11)
+	if err != nil {
+		return nil, nil, err
+	}
+	hashingBefore, err := templates.Source(uc)
+	if err != nil {
+		return nil, nil, err
+	}
+	hashingAfter := strings.Replace(hashingBefore,
+		`import (
+	cryslgen "cognicryptgen/gen/fluent"
+)`,
+		`import (
+	"os"
+
+	cryslgen "cognicryptgen/gen/fluent"
+)`, 1)
+	hashingAfter = strings.Replace(hashingAfter,
+		`// Hash returns the digest of s under the rule set's preferred hash
+// algorithm.
+func (t *StringHasher) Hash(s string) ([]byte, error) {
+	data := []byte(s)`,
+		`// HashFile returns the digest of the file at path under the rule set's
+// preferred hash algorithm.
+func (t *StringHasher) HashFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}`, 1)
+
+	ruleSrcs, err := rules.Sources()
+	if err != nil {
+		return nil, nil, err
+	}
+	mdBefore := ruleSrcs["MessageDigest.crysl"]
+	// "Fix the name of the chosen algorithm": the first (preferred) literal
+	// carried a wrong name; correct it in one place — the rule.
+	mdAfter := strings.Replace(mdBefore,
+		`hashAlg in {"SHA-256", "SHA-512", "SHA-384", "SHA3-256", "SHA3-512"};`,
+		`hashAlg in {"SHA-512", "SHA-256", "SHA-384", "SHA3-256", "SHA3-512"};`, 1)
+
+	genEdits = []Edit{
+		{Artefact: "hashing.go", Language: "Go", Before: hashingBefore, After: hashingAfter},
+		{Artefact: "MessageDigest.crysl", Language: "GoCrySL", Before: mdBefore, After: mdAfter},
+	}
+
+	// --- old-gen side ---
+	oldEdits = []Edit{
+		{Artefact: "uc11_hashing.xsl", Language: "XSL", Before: oldHashingXSLBefore, After: oldHashingXSLAfter},
+		{Artefact: "uc11_hashing.cfr", Language: "Clafer", Before: oldHashingCfrBefore, After: oldHashingCfrAfter},
+	}
+	return genEdits, oldEdits, nil
+}
+
+// Task2Edits returns the artefact edits of the symmetric-encryption task
+// for both backends.
+func Task2Edits() (genEdits, oldEdits []Edit, err error) {
+	uc, err := templates.ByID(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	symAfter, err := templates.Source(uc)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The "before" template misses IV randomization: the Encrypt chain
+	// binds the fresh-but-zero iv buffer straight into IVParameterSpec.
+	symBefore := strings.Replace(symAfter,
+		`	iv := make([]byte, 12)
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()`,
+		`	iv := make([]byte, 12)
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()`, 1)
+
+	ruleSrcs, err := rules.Sources()
+	if err != nil {
+		return nil, nil, err
+	}
+	cipherBefore := ruleSrcs["Cipher.crysl"]
+	// "Prohibit an outdated algorithm": drop CBC from the whitelist.
+	cipherAfter := strings.Replace(cipherBefore,
+		`transformation in {"AES/GCM/NoPadding", "AES/CTR/NoPadding", "AES/CBC/PKCS7Padding"};`,
+		`transformation in {"AES/GCM/NoPadding", "AES/CTR/NoPadding"};`, 1)
+
+	genEdits = []Edit{
+		{Artefact: "symenc.go", Language: "Go", Before: symBefore, After: symAfter},
+		{Artefact: "Cipher.crysl", Language: "GoCrySL", Before: cipherBefore, After: cipherAfter},
+	}
+	oldEdits = []Edit{
+		{Artefact: "uc04_symenc.xsl", Language: "XSL", Before: oldSymXSLBefore, After: oldSymXSLAfter},
+		{Artefact: "uc04_symenc.cfr", Language: "Clafer", Before: oldSymCfrBefore, After: oldSymCfrAfter},
+	}
+	return genEdits, oldEdits, nil
+}
+
+// RQ5 measures both tasks on both backends.
+func RQ5() ([]TaskEffort, error) {
+	t1g, t1o, err := Task1Edits()
+	if err != nil {
+		return nil, err
+	}
+	t2g, t2o, err := Task2Edits()
+	if err != nil {
+		return nil, err
+	}
+	return []TaskEffort{
+		Measure("Task1 (hashing)", "CogniCryptGEN", t1g),
+		Measure("Task1 (hashing)", "old-gen", t1o),
+		Measure("Task2 (encryption)", "CogniCryptGEN", t2g),
+		Measure("Task2 (encryption)", "old-gen", t2o),
+	}, nil
+}
+
+// --- old-gen study artefacts (the study materials old-gen would need for
+// the two tasks; hashing and symmetric encryption were not among its
+// eight shipped use cases, matching the paper's setup where tasks were
+// prepared for the study). ---
+
+var oldHashingCfrBefore = `// old-gen algorithm model: Hashing of Strings (study artefact).
+abstract Algorithm {
+    string provider = "GCA";
+    int security in {1, 2, 3, 4};
+}
+concrete Digest extends Algorithm {
+    string name in {"SHA256", "SHA-512", "SHA-384"};
+    constraint security >= 3;
+}
+task Hashing {
+    uses digest = Digest;
+}
+`
+
+// The algorithm-name fix must happen here *and* in the XSL fallback below.
+var oldHashingCfrAfter = strings.Replace(oldHashingCfrBefore,
+	`string name in {"SHA256", "SHA-512", "SHA-384"};`,
+	`string name in {"SHA-256", "SHA-512", "SHA-384"};`, 1)
+
+var oldHashingXSLBefore = `<?xml version="1.0" encoding="UTF-8"?>
+<!-- old-gen XSL template: Hashing of Strings (study artefact). -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+<xsl:template match="/">
+<xsl:text>// Code generated by CogniCrypt_old-gen (XSL baseline). DO NOT EDIT.
+package oldgenerated
+
+import (
+	"cognicryptgen/gca"
+)
+
+// StringHasher computes cryptographic digests of strings.
+type StringHasher struct{}
+
+// Hash returns the digest of s.
+func (t *StringHasher) Hash(s string) ([]byte, error) {
+	data := []byte(s)
+	messageDigest, err := gca.NewMessageDigest("</xsl:text><xsl:choose><xsl:when test="task/digest/name = 'SHA256'"><xsl:text>SHA256</xsl:text></xsl:when><xsl:otherwise><xsl:value-of select="task/digest/name"/></xsl:otherwise></xsl:choose><xsl:text>")
+	if err != nil {
+		return nil, err
+	}
+	if err := messageDigest.Update(data); err != nil {
+		return nil, err
+	}
+	return messageDigest.Digest()
+}
+</xsl:text>
+</xsl:template>
+</xsl:stylesheet>
+`
+
+var oldHashingXSLAfter = func() string {
+	s := strings.Replace(oldHashingXSLBefore,
+		`// Hash returns the digest of s.
+func (t *StringHasher) Hash(s string) ([]byte, error) {
+	data := []byte(s)`,
+		`// HashFile returns the digest of the file at path.
+func (t *StringHasher) HashFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}`, 1)
+	s = strings.Replace(s,
+		`import (
+	"cognicryptgen/gca"
+)`,
+		`import (
+	"os"
+
+	"cognicryptgen/gca"
+)`, 1)
+	// The wrong name was hard-coded in the XSL fallback branch as well.
+	s = strings.Replace(s,
+		`<xsl:when test="task/digest/name = 'SHA256'"><xsl:text>SHA256</xsl:text></xsl:when>`,
+		`<xsl:when test="task/digest/name = 'SHA-256'"><xsl:text>SHA-256</xsl:text></xsl:when>`, 1)
+	return s
+}()
+
+var oldSymCfrBefore = `// old-gen algorithm model: Symmetric-Key Encryption (study artefact).
+abstract Algorithm {
+    string provider = "GCA";
+    int security in {1, 2, 3, 4};
+}
+concrete AES extends Algorithm {
+    string name = "AES";
+    string mode in {"GCM", "CTR", "CBC"};
+    int keySize in {128, 192, 256};
+    int ivLength in {12, 16};
+    constraint mode == "GCM" => ivLength == 12;
+    constraint mode != "GCM" => ivLength == 16;
+}
+task SymmetricEncryption {
+    uses cipher = AES;
+}
+`
+
+var oldSymCfrAfter = strings.Replace(oldSymCfrBefore,
+	`string mode in {"GCM", "CTR", "CBC"};`,
+	`string mode in {"GCM", "CTR"};`, 1)
+
+var oldSymXSLBefore = `<?xml version="1.0" encoding="UTF-8"?>
+<!-- old-gen XSL template: Symmetric-Key Encryption (study artefact). -->
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+<xsl:template match="/">
+<xsl:text>// Code generated by CogniCrypt_old-gen (XSL baseline). DO NOT EDIT.
+package oldgenerated
+
+import (
+	"cognicryptgen/gca"
+)
+
+// SymmetricEncryptor encrypts byte slices under a fresh AES key.
+type SymmetricEncryptor struct{}
+
+// Encrypt encrypts data under key; the IV is prepended.
+func (t *SymmetricEncryptor) Encrypt(data []byte, key *gca.SecretKey) ([]byte, error) {
+	iv := make([]byte, </xsl:text><xsl:value-of select="task/cipher/ivLength"/><xsl:text>)
+	iVParameterSpec, err := gca.NewIVParameterSpec(iv)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := gca.NewCipher("AES/</xsl:text><xsl:value-of select="task/cipher/mode"/><xsl:text>/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := cipher.InitWithIV(gca.EncryptMode, key, iVParameterSpec); err != nil {
+		return nil, err
+	}
+	ciphertext, err := cipher.DoFinal(data)
+	if err != nil {
+		return nil, err
+	}
+	return append(iv, ciphertext...), nil
+}
+</xsl:text>
+</xsl:template>
+</xsl:stylesheet>
+`
+
+var oldSymXSLAfter = strings.Replace(oldSymXSLBefore,
+	`	iv := make([]byte, </xsl:text><xsl:value-of select="task/cipher/ivLength"/><xsl:text>)
+	iVParameterSpec, err := gca.NewIVParameterSpec(iv)`,
+	`	iv := make([]byte, </xsl:text><xsl:value-of select="task/cipher/ivLength"/><xsl:text>)
+	secureRandom, err := gca.NewSecureRandom()
+	if err != nil {
+		return nil, err
+	}
+	if err := secureRandom.NextBytes(iv); err != nil {
+		return nil, err
+	}
+	iVParameterSpec, err := gca.NewIVParameterSpec(iv)`, 1)
+
+// Sanity guards: the surgical replacements above must have applied;
+// failing loudly here beats silently measuring empty diffs.
+func init() {
+	checks := []struct {
+		name           string
+		before, after  string
+		mustHaveChange bool
+	}{
+		{"oldHashingCfr", oldHashingCfrBefore, oldHashingCfrAfter, true},
+		{"oldHashingXSL", oldHashingXSLBefore, oldHashingXSLAfter, true},
+		{"oldSymCfr", oldSymCfrBefore, oldSymCfrAfter, true},
+		{"oldSymXSL", oldSymXSLBefore, oldSymXSLAfter, true},
+	}
+	for _, c := range checks {
+		if c.mustHaveChange && c.before == c.after {
+			panic(fmt.Sprintf("effort: %s replacement did not apply", c.name))
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Signing: generate the "Digital Signing of Strings" use case, write the
+// result into a scratch package, and walk through the cross-method
+// predicate story — the template passes the key pair between chains via
+// AddParameter(kp, "this"), and the generator selects Private() for the
+// signing chain and Public() for the verification chain (paper §3.3 path
+// selection driven by ENSURES/REQUIRES links).
+//
+//	go run ./examples/signing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cognicryptgen/gen"
+	"cognicryptgen/rules"
+	"cognicryptgen/templates"
+)
+
+func main() {
+	log.SetFlags(0)
+	generator, err := gen.New(rules.MustLoad(), "", gen.Options{Verify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uc, err := templates.ByID(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := templates.Source(uc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := generator.GenerateFile(uc.File, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== path selection across the sign / verify chains ===")
+	for _, m := range res.Report.Methods {
+		for _, r := range m.Rules {
+			fmt.Printf("%-16s %-16s -> %v\n", m.Name, r.Rule, r.Path)
+		}
+	}
+	fmt.Println()
+	fmt.Println("note how gca.KeyPair resolves to [p2] (Private) under Sign but")
+	fmt.Println("[p1] (Public) under Verify: the Signature rule REQUIRES the")
+	fmt.Println("generatedPrivKey/generatedPubKey predicate that each path grants.")
+	fmt.Println()
+	fmt.Println("=== generated implementation ===")
+	fmt.Println(res.Output)
+}

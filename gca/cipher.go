@@ -1,0 +1,357 @@
+package gca
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"hash"
+	"strings"
+)
+
+// Cipher operation modes, mirroring javax.crypto.Cipher constants.
+const (
+	EncryptMode = 1
+	DecryptMode = 2
+	WrapMode    = 3
+	UnwrapMode  = 4
+)
+
+// IVParameterSpec carries an initialization vector, mirroring
+// javax.crypto.spec.IvParameterSpec. The GoCrySL rule for Cipher REQUIRES
+// the randomized predicate on the IV when encrypting.
+type IVParameterSpec struct {
+	iv []byte
+}
+
+// NewIVParameterSpec copies iv into a new specification.
+func NewIVParameterSpec(iv []byte) (*IVParameterSpec, error) {
+	if len(iv) == 0 {
+		return nil, fmt.Errorf("%w: empty IV", ErrInvalidParameter)
+	}
+	out := make([]byte, len(iv))
+	copy(out, iv)
+	return &IVParameterSpec{iv: out}, nil
+}
+
+// IV returns a copy of the initialization vector.
+func (s *IVParameterSpec) IV() []byte {
+	out := make([]byte, len(s.iv))
+	copy(out, s.iv)
+	return out
+}
+
+type cipherKind int
+
+const (
+	kindGCM cipherKind = iota
+	kindCTR
+	kindCBC
+	kindRSAOAEP
+)
+
+// Cipher performs encryption and decryption, mirroring javax.crypto.Cipher.
+//
+// Supported transformations:
+//
+//	AES/GCM/NoPadding     (authenticated; preferred)
+//	AES/CTR/NoPadding
+//	AES/CBC/PKCS7Padding
+//	RSA/OAEP/SHA-256
+//	RSA/OAEP/SHA-512
+//
+// ECB modes, DES-family transformations and PKCS#1 v1.5 RSA encryption are
+// rejected with ErrInsecureAlgorithm.
+//
+// Protocol: NewCipher → Init or InitWithIV → (UpdateAAD?) → Update* →
+// DoFinal, or for key transport NewCipher → Init(WrapMode/UnwrapMode) →
+// Wrap/Unwrap. The GoCrySL rule enforces the same order statically.
+type Cipher struct {
+	transformation string
+	kind           cipherKind
+
+	mode  int
+	block cipher.Block
+	aead  cipher.AEAD
+
+	rsaPub  *rsa.PublicKey
+	rsaPriv *rsa.PrivateKey
+	oaepNew func() hash.Hash
+
+	iv  []byte
+	aad []byte
+	buf []byte
+
+	initialised bool
+}
+
+// NewCipher returns a Cipher for the given transformation string.
+func NewCipher(transformation string) (*Cipher, error) {
+	parts := strings.Split(transformation, "/")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: malformed transformation %q (want ALG/MODE/PADDING)", ErrInvalidParameter, transformation)
+	}
+	alg, mode, padding := parts[0], parts[1], parts[2]
+	if mode == "ECB" {
+		return nil, fmt.Errorf("%w: ECB mode (%s)", ErrInsecureAlgorithm, transformation)
+	}
+	switch alg {
+	case "DES", "DESede", "3DES", "RC4", "RC2", "Blowfish":
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, alg)
+	}
+	c := &Cipher{transformation: transformation}
+	switch {
+	case alg == "AES" && mode == "GCM" && padding == "NoPadding":
+		c.kind = kindGCM
+	case alg == "AES" && mode == "CTR" && padding == "NoPadding":
+		c.kind = kindCTR
+	case alg == "AES" && mode == "CBC" && padding == "PKCS7Padding":
+		c.kind = kindCBC
+	case alg == "AES" && mode == "CBC" && padding == "NoPadding":
+		return nil, fmt.Errorf("%w: CBC without padding is misuse-prone; use PKCS7Padding", ErrInsecureAlgorithm)
+	case alg == "RSA" && mode == "OAEP" && padding == "SHA-256":
+		c.kind = kindRSAOAEP
+		c.oaepNew = func() hash.Hash { return sha256.New() }
+	case alg == "RSA" && mode == "OAEP" && padding == "SHA-512":
+		c.kind = kindRSAOAEP
+		c.oaepNew = func() hash.Hash { return sha512.New() }
+	case alg == "RSA":
+		return nil, fmt.Errorf("%w: RSA transformation %q (only OAEP is permitted)", ErrInsecureAlgorithm, transformation)
+	default:
+		return nil, fmt.Errorf("%w: unknown transformation %q", ErrInsecureAlgorithm, transformation)
+	}
+	return c, nil
+}
+
+// Transformation returns the transformation string the cipher was created
+// with.
+func (c *Cipher) Transformation() string { return c.transformation }
+
+// Init initialises the cipher for mode with key. For AES encryption a fresh
+// random IV/nonce is generated (retrieve it with GetIV). For AES decryption
+// use InitWithIV. For RSA, EncryptMode/WrapMode require a *PublicKey and
+// DecryptMode/UnwrapMode a *PrivateKey.
+func (c *Cipher) Init(mode int, key Key) error {
+	switch c.kind {
+	case kindRSAOAEP:
+		return c.initRSA(mode, key)
+	default:
+		if mode == DecryptMode {
+			return fmt.Errorf("%w: AES decryption requires InitWithIV", ErrInvalidState)
+		}
+		if mode != EncryptMode {
+			return fmt.Errorf("%w: mode %d not valid for %s", ErrInvalidParameter, mode, c.transformation)
+		}
+		iv := make([]byte, c.ivLen())
+		if _, err := rand.Read(iv); err != nil {
+			return fmt.Errorf("gca: generating IV: %w", err)
+		}
+		return c.initAES(mode, key, iv)
+	}
+}
+
+// InitWithIV initialises the cipher with an explicit IV (nonce for GCM).
+// Required for AES decryption; permitted for encryption when the caller
+// provides a randomized IV.
+func (c *Cipher) InitWithIV(mode int, key Key, spec *IVParameterSpec) error {
+	if c.kind == kindRSAOAEP {
+		return fmt.Errorf("%w: RSA transformations take no IV", ErrInvalidParameter)
+	}
+	if spec == nil {
+		return fmt.Errorf("%w: nil IVParameterSpec", ErrInvalidParameter)
+	}
+	if mode != EncryptMode && mode != DecryptMode {
+		return fmt.Errorf("%w: mode %d not valid for %s", ErrInvalidParameter, mode, c.transformation)
+	}
+	return c.initAES(mode, key, spec.IV())
+}
+
+func (c *Cipher) ivLen() int {
+	if c.kind == kindGCM {
+		return 12
+	}
+	return aes.BlockSize
+}
+
+func (c *Cipher) initAES(mode int, key Key, iv []byte) error {
+	sk, ok := asSecret(key)
+	if !ok {
+		return fmt.Errorf("%w: %s requires a SecretKey", ErrInvalidKey, c.transformation)
+	}
+	if sk.destroyed() {
+		return fmt.Errorf("%w: key material destroyed", ErrInvalidKey)
+	}
+	if len(iv) != c.ivLen() {
+		return fmt.Errorf("%w: IV length %d (want %d)", ErrInvalidParameter, len(iv), c.ivLen())
+	}
+	block, err := aes.NewCipher(sk.rawMaterial())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	c.block = block
+	if c.kind == kindGCM {
+		aead, err := cipher.NewGCM(block)
+		if err != nil {
+			return fmt.Errorf("gca: constructing GCM: %w", err)
+		}
+		c.aead = aead
+	}
+	c.mode = mode
+	c.iv = iv
+	c.buf = nil
+	c.aad = nil
+	c.initialised = true
+	return nil
+}
+
+func (c *Cipher) initRSA(mode int, key Key) error {
+	switch mode {
+	case EncryptMode, WrapMode:
+		pub, ok := key.(*PublicKey)
+		if !ok || pub.rsa == nil {
+			return fmt.Errorf("%w: RSA encryption requires an RSA *PublicKey", ErrInvalidKey)
+		}
+		c.rsaPub = pub.rsa
+	case DecryptMode, UnwrapMode:
+		priv, ok := key.(*PrivateKey)
+		if !ok || priv.rsa == nil {
+			return fmt.Errorf("%w: RSA decryption requires an RSA *PrivateKey", ErrInvalidKey)
+		}
+		c.rsaPriv = priv.rsa
+	default:
+		return fmt.Errorf("%w: mode %d not valid for %s", ErrInvalidParameter, mode, c.transformation)
+	}
+	c.mode = mode
+	c.buf = nil
+	c.initialised = true
+	return nil
+}
+
+// GetIV returns a copy of the IV (nonce) in use, or nil for RSA.
+func (c *Cipher) GetIV() []byte {
+	if c.iv == nil {
+		return nil
+	}
+	out := make([]byte, len(c.iv))
+	copy(out, c.iv)
+	return out
+}
+
+// UpdateAAD supplies additional authenticated data for GCM. Must be called
+// after Init and before Update/DoFinal.
+func (c *Cipher) UpdateAAD(aad []byte) error {
+	if !c.initialised {
+		return fmt.Errorf("%w: Cipher not initialised", ErrInvalidState)
+	}
+	if c.kind != kindGCM {
+		return fmt.Errorf("%w: AAD only valid for GCM", ErrInvalidParameter)
+	}
+	if len(c.buf) > 0 {
+		return fmt.Errorf("%w: AAD must precede data", ErrInvalidState)
+	}
+	c.aad = append(c.aad, aad...)
+	return nil
+}
+
+// Update buffers input data; the transformation is applied on DoFinal.
+func (c *Cipher) Update(data []byte) error {
+	if !c.initialised {
+		return fmt.Errorf("%w: Cipher not initialised", ErrInvalidState)
+	}
+	c.buf = append(c.buf, data...)
+	return nil
+}
+
+// DoFinal processes buffered data plus data and returns the result. The
+// cipher must be re-initialised before reuse.
+func (c *Cipher) DoFinal(data []byte) ([]byte, error) {
+	if !c.initialised {
+		return nil, fmt.Errorf("%w: Cipher not initialised", ErrInvalidState)
+	}
+	input := append(c.buf, data...)
+	c.buf = nil
+	c.initialised = false
+	defer func() { c.aad = nil }()
+
+	switch c.kind {
+	case kindGCM:
+		if c.mode == EncryptMode {
+			return c.aead.Seal(nil, c.iv, input, c.aad), nil
+		}
+		out, err := c.aead.Open(nil, c.iv, input, c.aad)
+		if err != nil {
+			return nil, fmt.Errorf("gca: GCM authentication failed: %w", err)
+		}
+		return out, nil
+
+	case kindCTR:
+		stream := cipher.NewCTR(c.block, c.iv)
+		out := make([]byte, len(input))
+		stream.XORKeyStream(out, input)
+		return out, nil
+
+	case kindCBC:
+		if c.mode == EncryptMode {
+			padded := pkcs7Pad(input, aes.BlockSize)
+			out := make([]byte, len(padded))
+			cipher.NewCBCEncrypter(c.block, c.iv).CryptBlocks(out, padded)
+			return out, nil
+		}
+		if len(input) == 0 || len(input)%aes.BlockSize != 0 {
+			return nil, fmt.Errorf("%w: ciphertext length %d not a multiple of the block size", ErrInvalidParameter, len(input))
+		}
+		out := make([]byte, len(input))
+		cipher.NewCBCDecrypter(c.block, c.iv).CryptBlocks(out, input)
+		return pkcs7Unpad(out, aes.BlockSize)
+
+	case kindRSAOAEP:
+		if c.mode == EncryptMode || c.mode == WrapMode {
+			out, err := rsa.EncryptOAEP(c.oaepNew(), rand.Reader, c.rsaPub, input, nil)
+			if err != nil {
+				return nil, fmt.Errorf("gca: RSA-OAEP encryption: %w", err)
+			}
+			return out, nil
+		}
+		out, err := rsa.DecryptOAEP(c.oaepNew(), nil, c.rsaPriv, input, nil)
+		if err != nil {
+			return nil, fmt.Errorf("gca: RSA-OAEP decryption: %w", err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: unknown cipher kind", ErrInvalidState)
+}
+
+// Wrap encrypts a symmetric key for transport (hybrid encryption). The
+// cipher must be initialised in WrapMode with the recipient's public key.
+func (c *Cipher) Wrap(key Key) ([]byte, error) {
+	if !c.initialised || c.mode != WrapMode {
+		return nil, fmt.Errorf("%w: Cipher not initialised for WrapMode", ErrInvalidState)
+	}
+	sk, ok := asSecret(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: only SecretKeys can be wrapped", ErrInvalidKey)
+	}
+	c.initialised = false
+	out, err := rsa.EncryptOAEP(c.oaepNew(), rand.Reader, c.rsaPub, sk.rawMaterial(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("gca: wrapping key: %w", err)
+	}
+	return out, nil
+}
+
+// Unwrap decrypts a wrapped key and tags it with algorithm. The cipher must
+// be initialised in UnwrapMode with the matching private key.
+func (c *Cipher) Unwrap(wrapped []byte, algorithm string) (*SecretKey, error) {
+	if !c.initialised || c.mode != UnwrapMode {
+		return nil, fmt.Errorf("%w: Cipher not initialised for UnwrapMode", ErrInvalidState)
+	}
+	c.initialised = false
+	material, err := rsa.DecryptOAEP(c.oaepNew(), nil, c.rsaPriv, wrapped, nil)
+	if err != nil {
+		return nil, fmt.Errorf("gca: unwrapping key: %w", err)
+	}
+	return &SecretKey{alg: algorithm, material: material}, nil
+}

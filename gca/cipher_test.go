@@ -1,0 +1,355 @@
+package gca
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func freshIV(t *testing.T, n int) *IVParameterSpec {
+	t.Helper()
+	iv := make([]byte, n)
+	r, _ := NewSecureRandom()
+	if err := r.NextBytes(iv); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewIVParameterSpec(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestCipherRejectsInsecureTransformations(t *testing.T) {
+	for _, tr := range []string{
+		"AES/ECB/NoPadding",
+		"AES/ECB/PKCS7Padding",
+		"DES/CBC/PKCS7Padding",
+		"AES/CBC/NoPadding",
+		"RSA/PKCS1/NoPadding",
+		"RC4/STREAM/NoPadding",
+	} {
+		if _, err := NewCipher(tr); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s: got %v", tr, err)
+		}
+	}
+	if _, err := NewCipher("AES/GCM"); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("malformed transformation accepted")
+	}
+}
+
+func TestGCMRoundTripInternalIV(t *testing.T) {
+	key := mustKey(t, 128)
+	enc, err := NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Init(EncryptMode, key); err != nil {
+		t.Fatal(err)
+	}
+	iv := enc.GetIV()
+	if len(iv) != 12 {
+		t.Fatalf("GCM nonce length %d", len(iv))
+	}
+	ct, err := enc.DoFinal([]byte("hello gcm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewCipher("AES/GCM/NoPadding")
+	spec, _ := NewIVParameterSpec(iv)
+	if err := dec.InitWithIV(DecryptMode, key, spec); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := dec.DoFinal(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "hello gcm" {
+		t.Fatalf("round trip: %q", pt)
+	}
+}
+
+func TestGCMTamperDetected(t *testing.T) {
+	key := mustKey(t, 256)
+	enc, _ := NewCipher("AES/GCM/NoPadding")
+	iv := freshIV(t, 12)
+	if err := enc.InitWithIV(EncryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := enc.DoFinal([]byte("integrity matters"))
+	ct[0] ^= 1
+	dec, _ := NewCipher("AES/GCM/NoPadding")
+	if err := dec.InitWithIV(DecryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DoFinal(ct); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestGCMAAD(t *testing.T) {
+	key := mustKey(t, 128)
+	iv := freshIV(t, 12)
+	enc, _ := NewCipher("AES/GCM/NoPadding")
+	if err := enc.InitWithIV(EncryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.UpdateAAD([]byte("header")); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := enc.DoFinal([]byte("payload"))
+
+	dec, _ := NewCipher("AES/GCM/NoPadding")
+	if err := dec.InitWithIV(DecryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.UpdateAAD([]byte("wrong header")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DoFinal(ct); err == nil {
+		t.Fatal("wrong AAD accepted")
+	}
+	dec2, _ := NewCipher("AES/GCM/NoPadding")
+	if err := dec2.InitWithIV(DecryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.UpdateAAD([]byte("header")); err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := dec2.DoFinal(ct); err != nil || string(pt) != "payload" {
+		t.Fatalf("correct AAD rejected: %v %q", err, pt)
+	}
+}
+
+func TestCTRAndCBCRoundTrips(t *testing.T) {
+	for _, tr := range []string{"AES/CTR/NoPadding", "AES/CBC/PKCS7Padding"} {
+		key := mustKey(t, 192)
+		iv := freshIV(t, 16)
+		enc, err := NewCipher(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.InitWithIV(EncryptMode, key, iv); err != nil {
+			t.Fatal(err)
+		}
+		plain := []byte("sixteen byte msg plus some extra")
+		ct, err := enc.DoFinal(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _ := NewCipher(tr)
+		if err := dec.InitWithIV(DecryptMode, key, iv); err != nil {
+			t.Fatal(err)
+		}
+		pt, err := dec.DoFinal(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pt, plain) {
+			t.Errorf("%s round trip failed", tr)
+		}
+	}
+}
+
+func TestUpdateAccumulates(t *testing.T) {
+	key := mustKey(t, 128)
+	iv := freshIV(t, 12)
+	enc, _ := NewCipher("AES/GCM/NoPadding")
+	if err := enc.InitWithIV(EncryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Update([]byte("part1-")); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enc.DoFinal([]byte("part2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewCipher("AES/GCM/NoPadding")
+	if err := dec.InitWithIV(DecryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := dec.DoFinal(ct)
+	if string(pt) != "part1-part2" {
+		t.Fatalf("got %q", pt)
+	}
+}
+
+func TestCipherProtocolViolations(t *testing.T) {
+	c, _ := NewCipher("AES/GCM/NoPadding")
+	if _, err := c.DoFinal([]byte("x")); !errors.Is(err, ErrInvalidState) {
+		t.Error("DoFinal before Init")
+	}
+	if err := c.Update([]byte("x")); !errors.Is(err, ErrInvalidState) {
+		t.Error("Update before Init")
+	}
+	key := mustKey(t, 128)
+	if err := c.Init(DecryptMode, key); !errors.Is(err, ErrInvalidState) {
+		t.Error("AES decryption without IV must be rejected")
+	}
+	if err := c.InitWithIV(EncryptMode, key, nil); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("nil IV spec accepted")
+	}
+	badIV, _ := NewIVParameterSpec(make([]byte, 7))
+	if err := c.InitWithIV(EncryptMode, key, badIV); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("wrong IV length accepted")
+	}
+	// A cipher consumes its initialisation on DoFinal.
+	if err := c.Init(EncryptMode, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DoFinal([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DoFinal([]byte("y")); !errors.Is(err, ErrInvalidState) {
+		t.Error("reuse without re-Init accepted")
+	}
+}
+
+func TestRSAOAEPRoundTripAndWrap(t *testing.T) {
+	g, _ := NewKeyPairGenerator("RSA")
+	if err := g.Init(2048); err != nil {
+		t.Fatal(err)
+	}
+	kp, err := g.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewCipher("RSA/OAEP/SHA-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Init(EncryptMode, kp.Public()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enc.DoFinal([]byte("short secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewCipher("RSA/OAEP/SHA-256")
+	if err := dec.Init(DecryptMode, kp.Private()); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := dec.DoFinal(ct)
+	if err != nil || string(pt) != "short secret" {
+		t.Fatalf("OAEP round trip: %v %q", err, pt)
+	}
+
+	// Key wrap / unwrap.
+	session := mustKey(t, 256)
+	w, _ := NewCipher("RSA/OAEP/SHA-256")
+	if err := w.Init(WrapMode, kp.Public()); err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := w.Wrap(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := NewCipher("RSA/OAEP/SHA-256")
+	if err := u.Init(UnwrapMode, kp.Private()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.Unwrap(wrapped, "AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encoded(), session.Encoded()) || got.Algorithm() != "AES" {
+		t.Error("unwrap mismatch")
+	}
+}
+
+func TestRSAKeyTypeChecks(t *testing.T) {
+	g, _ := NewKeyPairGenerator("RSA")
+	g.Init(2048)
+	kp, _ := g.GenerateKeyPair()
+	c, _ := NewCipher("RSA/OAEP/SHA-256")
+	if err := c.Init(EncryptMode, kp.Private()); !errors.Is(err, ErrInvalidKey) {
+		t.Error("private key accepted for encryption")
+	}
+	if err := c.Init(DecryptMode, kp.Public()); !errors.Is(err, ErrInvalidKey) {
+		t.Error("public key accepted for decryption")
+	}
+	sym := mustKey(t, 128)
+	if err := c.Init(EncryptMode, sym); !errors.Is(err, ErrInvalidKey) {
+		t.Error("symmetric key accepted for RSA")
+	}
+	a, _ := NewCipher("AES/GCM/NoPadding")
+	if err := a.Init(EncryptMode, kp.Public()); !errors.Is(err, ErrInvalidKey) {
+		t.Error("public key accepted for AES")
+	}
+}
+
+func TestSecretKeySpecWorksWithCipher(t *testing.T) {
+	material := bytes.Repeat([]byte{7}, 16)
+	key, err := NewSecretKeySpec(material, "AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCipher("AES/GCM/NoPadding")
+	if err := c.Init(EncryptMode, key); err != nil {
+		t.Fatalf("SecretKeySpec rejected by cipher: %v", err)
+	}
+}
+
+// TestQuickPKCS7RoundTrip: padding followed by unpadding is the identity
+// for arbitrary data.
+func TestQuickPKCS7RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		padded := pkcs7Pad(data, 16)
+		if len(padded)%16 != 0 || len(padded) <= len(data) {
+			return false
+		}
+		out, err := pkcs7Unpad(padded, 16)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKCS7Corruption(t *testing.T) {
+	if _, err := pkcs7Unpad([]byte{1, 2, 3}, 16); err == nil {
+		t.Error("non-block-aligned input accepted")
+	}
+	block := bytes.Repeat([]byte{0}, 16)
+	if _, err := pkcs7Unpad(block, 16); err == nil {
+		t.Error("zero padding byte accepted")
+	}
+	bad := bytes.Repeat([]byte{16}, 16)
+	bad[0] = 5
+	if _, err := pkcs7Unpad(bad, 16); err == nil {
+		t.Error("inconsistent padding accepted")
+	}
+}
+
+// TestQuickGCMRoundTrip: encrypt→decrypt is the identity for arbitrary
+// payloads under a fixed key.
+func TestQuickGCMRoundTrip(t *testing.T) {
+	key := mustKey(t, 128)
+	iv := make([]byte, 12)
+	r, _ := NewSecureRandom()
+	if err := r.NextBytes(iv); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := NewIVParameterSpec(iv)
+	f := func(data []byte) bool {
+		enc, _ := NewCipher("AES/GCM/NoPadding")
+		if err := enc.InitWithIV(EncryptMode, key, spec); err != nil {
+			return false
+		}
+		ct, err := enc.DoFinal(data)
+		if err != nil {
+			return false
+		}
+		dec, _ := NewCipher("AES/GCM/NoPadding")
+		if err := dec.InitWithIV(DecryptMode, key, spec); err != nil {
+			return false
+		}
+		pt, err := dec.DoFinal(ct)
+		return err == nil && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

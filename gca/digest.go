@@ -1,0 +1,69 @@
+package gca
+
+import (
+	"crypto/sha256"
+	"crypto/sha3"
+	"crypto/sha512"
+	"fmt"
+	"hash"
+)
+
+// MessageDigest computes cryptographic hashes, mirroring
+// java.security.MessageDigest.
+//
+// Supported algorithms: SHA-256, SHA-384, SHA-512, SHA3-256, SHA3-512.
+// MD5 and SHA-1 are rejected as insecure.
+//
+// Protocol: NewMessageDigest → Update+ → Digest. A digest engine resets
+// after Digest and can be updated again.
+type MessageDigest struct {
+	alg string
+	h   hash.Hash
+}
+
+// NewMessageDigest returns a digest engine for the named algorithm.
+func NewMessageDigest(algorithm string) (*MessageDigest, error) {
+	var h hash.Hash
+	switch algorithm {
+	case "SHA-256":
+		h = sha256.New()
+	case "SHA-384":
+		h = sha512.New384()
+	case "SHA-512":
+		h = sha512.New()
+	case "SHA3-256":
+		h = sha3.New256()
+	case "SHA3-512":
+		h = sha3.New512()
+	case "MD5", "SHA-1", "SHA1":
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, algorithm)
+	default:
+		return nil, fmt.Errorf("%w: unknown MessageDigest algorithm %q", ErrInsecureAlgorithm, algorithm)
+	}
+	return &MessageDigest{alg: algorithm, h: h}, nil
+}
+
+// Algorithm returns the digest algorithm name.
+func (d *MessageDigest) Algorithm() string { return d.alg }
+
+// Update feeds data into the digest.
+func (d *MessageDigest) Update(data []byte) error {
+	if d.h == nil {
+		return fmt.Errorf("%w: MessageDigest not initialised", ErrInvalidState)
+	}
+	d.h.Write(data)
+	return nil
+}
+
+// Digest finalises the hash, resets the engine, and returns the digest.
+func (d *MessageDigest) Digest() ([]byte, error) {
+	if d.h == nil {
+		return nil, fmt.Errorf("%w: MessageDigest not initialised", ErrInvalidState)
+	}
+	sum := d.h.Sum(nil)
+	d.h.Reset()
+	return sum, nil
+}
+
+// DigestSize returns the output size in bytes.
+func (d *MessageDigest) DigestSize() int { return d.h.Size() }

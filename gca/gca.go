@@ -1,0 +1,45 @@
+// Package gca ("Go Cryptography Architecture") is a JCA-style, stateful,
+// provider-like façade over the Go standard library's crypto packages.
+//
+// The CGO 2020 paper targets the Java Cryptography Architecture, whose
+// object protocols (Cipher, KeyGenerator, PBEKeySpec, Signature, ...) are
+// exactly what makes crypto APIs easy to misuse: calls must happen in a
+// particular order, parameters carry non-obvious constraints, and objects
+// of different classes must be composed correctly. This package reproduces
+// that protocol surface on top of crypto/aes, crypto/cipher, crypto/rsa,
+// crypto/ecdsa, crypto/pbkdf2, crypto/hmac, crypto/sha256, crypto/sha512
+// and crypto/rand, per the reproduction plan in DESIGN.md.
+//
+// Every type in this package has a corresponding GoCrySL rule in the rules
+// directory; the CogniCryptGEN generator emits code against this API, and
+// the analysis package checks arbitrary client code against the same rules.
+//
+// Deliberately absent: ECB mode, DES/3DES, RC4, MD5 and SHA-1 digests for
+// signatures — constructors reject them with ErrInsecureAlgorithm so that
+// even hand-written code cannot select broken primitives silently.
+package gca
+
+import "errors"
+
+// Sentinel errors returned across the package.
+var (
+	// ErrInsecureAlgorithm rejects algorithms that are known-broken or
+	// misuse-prone (ECB, DES, MD5, ...).
+	ErrInsecureAlgorithm = errors.New("gca: insecure or unsupported algorithm")
+	// ErrInvalidState reports a protocol violation, e.g. DoFinal before Init.
+	ErrInvalidState = errors.New("gca: operation invalid in current object state")
+	// ErrInvalidKey reports a key unsuitable for the requested operation.
+	ErrInvalidKey = errors.New("gca: invalid key for operation")
+	// ErrInvalidParameter reports an out-of-range or malformed parameter.
+	ErrInvalidParameter = errors.New("gca: invalid parameter")
+)
+
+// Key is the common interface of all key material, mirroring
+// java.security.Key.
+type Key interface {
+	// Algorithm returns the key's algorithm name, e.g. "AES".
+	Algorithm() string
+	// Encoded returns the key's primary encoding, or nil when the key is
+	// not extractable (asymmetric keys).
+	Encoded() []byte
+}

@@ -1,0 +1,257 @@
+package gca
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSecureRandomNextBytes(t *testing.T) {
+	r, err := NewSecureRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	if err := r.NextBytes(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.NextBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two 32-byte draws equal; RNG broken")
+	}
+	if bytes.Equal(a, make([]byte, 32)) {
+		t.Error("draw returned all zeros")
+	}
+}
+
+func TestSecureRandomNextInt(t *testing.T) {
+	r, _ := NewSecureRandom()
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		n, err := r.NextInt(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 0 || n >= 10 {
+			t.Fatalf("out of range: %d", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("suspiciously low variety: %d distinct values", len(seen))
+	}
+	if _, err := r.NextInt(0); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("bound 0 must be rejected")
+	}
+}
+
+func TestUninitialisedSecureRandom(t *testing.T) {
+	var r SecureRandom
+	if err := r.NextBytes(make([]byte, 4)); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPBEKeySpecValidation(t *testing.T) {
+	salt := make([]byte, 16)
+	cases := []struct {
+		name string
+		fn   func() (*PBEKeySpec, error)
+	}{
+		{"empty password", func() (*PBEKeySpec, error) { return NewPBEKeySpec(nil, salt, 10000, 128) }},
+		{"empty salt", func() (*PBEKeySpec, error) { return NewPBEKeySpec([]rune("x"), nil, 10000, 128) }},
+		{"zero iterations", func() (*PBEKeySpec, error) { return NewPBEKeySpec([]rune("x"), salt, 0, 128) }},
+		{"non-multiple-of-8 keylength", func() (*PBEKeySpec, error) { return NewPBEKeySpec([]rune("x"), salt, 10000, 100) }},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); !errors.Is(err, ErrInvalidParameter) {
+			t.Errorf("%s: got %v", c.name, err)
+		}
+	}
+}
+
+func TestPBEKeySpecCopiesInputs(t *testing.T) {
+	pwd := []rune("topsecret")
+	salt := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	spec, err := NewPBEKeySpec(pwd, salt, 10000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwd[0] = 'X'
+	salt[0] = 0xFF
+	if spec.Salt()[0] == 0xFF {
+		t.Error("salt aliased, not copied")
+	}
+	if spec.IterationCount() != 10000 || spec.KeyLength() != 128 {
+		t.Error("getters wrong")
+	}
+}
+
+func TestClearPasswordBlocksDerivation(t *testing.T) {
+	spec, _ := NewPBEKeySpec([]rune("pw"), make([]byte, 16), 10000, 128)
+	factory, _ := NewSecretKeyFactory("PBKDF2WithHmacSHA256")
+	spec.ClearPassword()
+	if _, err := factory.GenerateSecret(spec); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("derivation after ClearPassword: %v", err)
+	}
+}
+
+func TestSecretKeyFactoryDeterminism(t *testing.T) {
+	salt := []byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}
+	derive := func(alg string, keylen int) []byte {
+		spec, err := NewPBEKeySpec([]rune("password1"), salt, 10000, keylen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewSecretKeyFactory(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := f.GenerateSecret(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Encoded()
+	}
+	a := derive("PBKDF2WithHmacSHA256", 256)
+	b := derive("PBKDF2WithHmacSHA256", 256)
+	if !bytes.Equal(a, b) {
+		t.Error("PBKDF2 must be deterministic")
+	}
+	if len(a) != 32 {
+		t.Errorf("256-bit key has %d bytes", len(a))
+	}
+	c := derive("PBKDF2WithHmacSHA512", 256)
+	if bytes.Equal(a, c) {
+		t.Error("different PRFs must give different keys")
+	}
+}
+
+func TestSecretKeyFactoryRejectsWeakAlgorithms(t *testing.T) {
+	for _, alg := range []string{"PBKDF2WithHmacSHA1", "PBEWithMD5AndDES", "nonsense"} {
+		if _, err := NewSecretKeyFactory(alg); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s: got %v", alg, err)
+		}
+	}
+}
+
+func TestForbiddenNoSaltConstructorIsWeakOnPurpose(t *testing.T) {
+	spec, err := NewPBEKeySpecNoSalt([]rune("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.IterationCount() >= 10000 {
+		t.Error("the deliberately weak constructor should have a low iteration count")
+	}
+	if !bytes.Equal(spec.Salt(), make([]byte, 8)) {
+		t.Error("the deliberately weak constructor should use a fixed zero salt")
+	}
+}
+
+func TestSecretKeySpecAndDestroy(t *testing.T) {
+	key, err := NewSecretKeySpec([]byte{1, 2, 3, 4}, "AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Algorithm() != "AES" || !bytes.Equal(key.Encoded(), []byte{1, 2, 3, 4}) {
+		t.Error("accessors wrong")
+	}
+	if _, err := NewSecretKeySpec(nil, "AES"); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("empty material must be rejected")
+	}
+	if _, err := NewSecretKeySpec([]byte{1}, ""); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("empty algorithm must be rejected")
+	}
+	key.Destroy()
+	kg := mustKey(t, 128)
+	_ = kg
+	mac, _ := NewMac("HmacSHA256")
+	if err := mac.InitMac(key); !errors.Is(err, ErrInvalidKey) {
+		t.Errorf("destroyed key usable: %v", err)
+	}
+}
+
+func mustKey(t *testing.T, bits int) *SecretKey {
+	t.Helper()
+	kg, err := NewKeyGenerator("AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kg.Init(bits); err != nil {
+		t.Fatal(err)
+	}
+	k, err := kg.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyGeneratorProtocol(t *testing.T) {
+	kg, err := NewKeyGenerator("AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kg.GenerateKey(); !errors.Is(err, ErrInvalidState) {
+		t.Error("GenerateKey before Init must fail")
+	}
+	if err := kg.Init(100); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("bad key size accepted")
+	}
+	if err := kg.Init(256); err != nil {
+		t.Fatal(err)
+	}
+	k, err := kg.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Encoded()) != 32 || k.Algorithm() != "AES" {
+		t.Error("generated key malformed")
+	}
+	for _, alg := range []string{"DES", "3DES", "RC4", "Blowfish"} {
+		if _, err := NewKeyGenerator(alg); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s accepted", alg)
+		}
+	}
+}
+
+func TestKeyPairGeneratorRSAAndECDSA(t *testing.T) {
+	for _, tc := range []struct {
+		alg  string
+		size int
+	}{{"RSA", 2048}, {"ECDSA", 256}, {"ECDSA", 384}} {
+		g, err := NewKeyPairGenerator(tc.alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Init(tc.size); err != nil {
+			t.Fatal(err)
+		}
+		kp, err := g.GenerateKeyPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kp.Public().Algorithm() != tc.alg || kp.Private().Algorithm() != tc.alg {
+			t.Errorf("%s: algorithm tags wrong", tc.alg)
+		}
+		if kp.Public().Encoded() != nil {
+			t.Error("asymmetric keys must not be extractable")
+		}
+	}
+}
+
+func TestKeyPairGeneratorRejections(t *testing.T) {
+	if _, err := NewKeyPairGenerator("DSA"); !errors.Is(err, ErrInsecureAlgorithm) {
+		t.Error("DSA accepted")
+	}
+	g, _ := NewKeyPairGenerator("RSA")
+	if err := g.Init(1024); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("RSA-1024 accepted")
+	}
+	if _, err := g.GenerateKeyPair(); !errors.Is(err, ErrInvalidState) {
+		t.Error("GenerateKeyPair before Init")
+	}
+}

@@ -1,0 +1,118 @@
+package gca
+
+import (
+	"crypto/ecdsa"
+	"crypto/rsa"
+	"fmt"
+)
+
+// SecretKey is symmetric key material with an algorithm tag, mirroring
+// javax.crypto.SecretKey / javax.crypto.spec.SecretKeySpec.
+type SecretKey struct {
+	alg      string
+	material []byte
+}
+
+// SecretKeySpec wraps raw key material as a key for a named cipher
+// algorithm, mirroring javax.crypto.spec.SecretKeySpec. It is a SecretKey
+// by embedding and can be used wherever a SecretKey is accepted.
+type SecretKeySpec struct {
+	SecretKey
+}
+
+// NewSecretKeySpec copies keyMaterial into a new key specification for the
+// given cipher algorithm.
+func NewSecretKeySpec(keyMaterial []byte, algorithm string) (*SecretKeySpec, error) {
+	if len(keyMaterial) == 0 {
+		return nil, fmt.Errorf("%w: empty key material", ErrInvalidParameter)
+	}
+	if algorithm == "" {
+		return nil, fmt.Errorf("%w: empty algorithm", ErrInvalidParameter)
+	}
+	m := make([]byte, len(keyMaterial))
+	copy(m, keyMaterial)
+	return &SecretKeySpec{SecretKey{alg: algorithm, material: m}}, nil
+}
+
+// secretHolder is the internal interface shared by SecretKey and
+// SecretKeySpec; engines accept either.
+type secretHolder interface {
+	rawMaterial() []byte
+	destroyed() bool
+	Algorithm() string
+}
+
+func (k *SecretKey) rawMaterial() []byte { return k.material }
+
+// asSecret extracts symmetric key material from a Key, accepting both
+// *SecretKey and *SecretKeySpec.
+func asSecret(key Key) (secretHolder, bool) {
+	h, ok := key.(secretHolder)
+	return h, ok
+}
+
+// Algorithm returns the key's algorithm name.
+func (k *SecretKey) Algorithm() string { return k.alg }
+
+// Encoded returns a copy of the raw key material.
+func (k *SecretKey) Encoded() []byte {
+	out := make([]byte, len(k.material))
+	copy(out, k.material)
+	return out
+}
+
+// Destroy zeroes the key material. Subsequent use fails with ErrInvalidKey.
+func (k *SecretKey) Destroy() {
+	for i := range k.material {
+		k.material[i] = 0
+	}
+	k.material = nil
+}
+
+func (k *SecretKey) destroyed() bool { return k.material == nil }
+
+// PublicKey wraps an asymmetric public key (RSA or ECDSA).
+type PublicKey struct {
+	alg string
+	rsa *rsa.PublicKey
+	ec  *ecdsa.PublicKey
+}
+
+// Algorithm returns "RSA" or "ECDSA".
+func (k *PublicKey) Algorithm() string { return k.alg }
+
+// Encoded returns nil; asymmetric keys in gca are not extractable.
+func (k *PublicKey) Encoded() []byte { return nil }
+
+// PrivateKey wraps an asymmetric private key (RSA or ECDSA).
+type PrivateKey struct {
+	alg string
+	rsa *rsa.PrivateKey
+	ec  *ecdsa.PrivateKey
+}
+
+// Algorithm returns "RSA" or "ECDSA".
+func (k *PrivateKey) Algorithm() string { return k.alg }
+
+// Encoded returns nil; asymmetric keys in gca are not extractable.
+func (k *PrivateKey) Encoded() []byte { return nil }
+
+// KeyPair holds a matched public/private key pair, mirroring
+// java.security.KeyPair.
+type KeyPair struct {
+	public  *PublicKey
+	private *PrivateKey
+}
+
+// Public returns the public half.
+func (p *KeyPair) Public() *PublicKey { return p.public }
+
+// Private returns the private half.
+func (p *KeyPair) Private() *PrivateKey { return p.private }
+
+// Interface conformance checks.
+var (
+	_ Key = (*SecretKey)(nil)
+	_ Key = (*PublicKey)(nil)
+	_ Key = (*PrivateKey)(nil)
+)

@@ -1,0 +1,130 @@
+package gca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+)
+
+// KeyGenerator generates fresh symmetric keys, mirroring
+// javax.crypto.KeyGenerator. Only AES is supported; DES, 3DES, RC4 and
+// Blowfish are rejected as insecure.
+type KeyGenerator struct {
+	alg     string
+	keySize int // bits; 0 until Init
+}
+
+// NewKeyGenerator returns a generator for the named symmetric algorithm.
+func NewKeyGenerator(algorithm string) (*KeyGenerator, error) {
+	switch algorithm {
+	case "AES":
+		return &KeyGenerator{alg: algorithm}, nil
+	case "DES", "DESede", "3DES", "RC4", "Blowfish", "RC2":
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, algorithm)
+	}
+	return nil, fmt.Errorf("%w: unknown KeyGenerator algorithm %q", ErrInsecureAlgorithm, algorithm)
+}
+
+// Init sets the key size in bits. Valid AES sizes: 128, 192, 256.
+func (g *KeyGenerator) Init(keySize int) error {
+	switch keySize {
+	case 128, 192, 256:
+		g.keySize = keySize
+		return nil
+	}
+	return fmt.Errorf("%w: AES key size %d (want 128, 192 or 256)", ErrInvalidParameter, keySize)
+}
+
+// GenerateKey produces a fresh random key. Calling GenerateKey before Init
+// is a protocol violation (the GoCrySL rule enforces the order statically;
+// the runtime mirrors it).
+func (g *KeyGenerator) GenerateKey() (*SecretKey, error) {
+	if g.keySize == 0 {
+		return nil, fmt.Errorf("%w: KeyGenerator.Init not called", ErrInvalidState)
+	}
+	material := make([]byte, g.keySize/8)
+	if _, err := rand.Read(material); err != nil {
+		return nil, fmt.Errorf("gca: generating key: %w", err)
+	}
+	return &SecretKey{alg: g.alg, material: material}, nil
+}
+
+// KeyPairGenerator generates asymmetric key pairs, mirroring
+// java.security.KeyPairGenerator. Supported algorithms: "RSA" (sizes 2048,
+// 3072, 4096) and "ECDSA" (sizes 256, 384, 521 selecting NIST P-curves).
+type KeyPairGenerator struct {
+	alg     string
+	keySize int
+}
+
+// NewKeyPairGenerator returns a generator for the named asymmetric
+// algorithm.
+func NewKeyPairGenerator(algorithm string) (*KeyPairGenerator, error) {
+	switch algorithm {
+	case "RSA", "ECDSA":
+		return &KeyPairGenerator{alg: algorithm}, nil
+	case "DSA":
+		return nil, fmt.Errorf("%w: DSA", ErrInsecureAlgorithm)
+	}
+	return nil, fmt.Errorf("%w: unknown KeyPairGenerator algorithm %q", ErrInsecureAlgorithm, algorithm)
+}
+
+// Init sets the key size. RSA below 2048 bits is rejected.
+func (g *KeyPairGenerator) Init(keySize int) error {
+	switch g.alg {
+	case "RSA":
+		switch keySize {
+		case 2048, 3072, 4096:
+			g.keySize = keySize
+			return nil
+		}
+		return fmt.Errorf("%w: RSA key size %d (want 2048, 3072 or 4096)", ErrInvalidParameter, keySize)
+	case "ECDSA":
+		switch keySize {
+		case 256, 384, 521:
+			g.keySize = keySize
+			return nil
+		}
+		return fmt.Errorf("%w: ECDSA key size %d (want 256, 384 or 521)", ErrInvalidParameter, keySize)
+	}
+	return fmt.Errorf("%w: KeyPairGenerator not initialised", ErrInvalidState)
+}
+
+// GenerateKeyPair produces a fresh key pair. Init must have been called.
+func (g *KeyPairGenerator) GenerateKeyPair() (*KeyPair, error) {
+	if g.keySize == 0 {
+		return nil, fmt.Errorf("%w: KeyPairGenerator.Init not called", ErrInvalidState)
+	}
+	switch g.alg {
+	case "RSA":
+		priv, err := rsa.GenerateKey(rand.Reader, g.keySize)
+		if err != nil {
+			return nil, fmt.Errorf("gca: generating RSA key pair: %w", err)
+		}
+		return &KeyPair{
+			public:  &PublicKey{alg: "RSA", rsa: &priv.PublicKey},
+			private: &PrivateKey{alg: "RSA", rsa: priv},
+		}, nil
+	case "ECDSA":
+		var curve elliptic.Curve
+		switch g.keySize {
+		case 256:
+			curve = elliptic.P256()
+		case 384:
+			curve = elliptic.P384()
+		default:
+			curve = elliptic.P521()
+		}
+		priv, err := ecdsa.GenerateKey(curve, rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("gca: generating ECDSA key pair: %w", err)
+		}
+		return &KeyPair{
+			public:  &PublicKey{alg: "ECDSA", ec: &priv.PublicKey},
+			private: &PrivateKey{alg: "ECDSA", ec: priv},
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown algorithm %q", ErrInsecureAlgorithm, g.alg)
+}

@@ -1,0 +1,176 @@
+package gca
+
+import (
+	"crypto/pbkdf2"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// KeyStore is a password-protected container for symmetric keys, mirroring
+// java.security.KeyStore (the JCA's key-management service). Entries are
+// serialised as JSON and sealed with AES-256-GCM under a PBKDF2-derived
+// key; the on-disk layout is salt ‖ nonce ‖ ciphertext.
+//
+// Protocol: NewKeyStore → SetKeyEntry+ → Store for writing, and
+// LoadKeyStore → GetKeyEntry+ for reading. The GoCrySL rule enforces both
+// flows and requires stored keys to carry the generatedKey predicate.
+type KeyStore struct {
+	entries map[string]keyEntry
+}
+
+type keyEntry struct {
+	Algorithm string `json:"alg"`
+	Material  string `json:"material"` // hex
+}
+
+const (
+	keyStoreSaltLen   = 32
+	keyStoreNonceLen  = 12
+	keyStoreIter      = 10000
+	keyStoreKeyLenBit = 256
+)
+
+// NewKeyStore creates an empty key store for writing.
+func NewKeyStore() (*KeyStore, error) {
+	return &KeyStore{entries: map[string]keyEntry{}}, nil
+}
+
+// SetKeyEntry stores key under alias, replacing any previous entry.
+func (ks *KeyStore) SetKeyEntry(alias string, key *SecretKey) error {
+	if alias == "" {
+		return fmt.Errorf("%w: empty alias", ErrInvalidParameter)
+	}
+	if key == nil || key.destroyed() {
+		return fmt.Errorf("%w: missing or destroyed key", ErrInvalidKey)
+	}
+	ks.entries[alias] = keyEntry{
+		Algorithm: key.Algorithm(),
+		Material:  hex.EncodeToString(key.rawMaterial()),
+	}
+	return nil
+}
+
+// GetKeyEntry retrieves the key stored under alias, tagging it with
+// algorithm.
+func (ks *KeyStore) GetKeyEntry(alias, algorithm string) (*SecretKey, error) {
+	e, ok := ks.entries[alias]
+	if !ok {
+		return nil, fmt.Errorf("%w: no entry %q", ErrInvalidParameter, alias)
+	}
+	material, err := hex.DecodeString(e.Material)
+	if err != nil {
+		return nil, fmt.Errorf("gca: corrupt key store entry %q: %w", alias, err)
+	}
+	if algorithm == "" {
+		algorithm = e.Algorithm
+	}
+	return &SecretKey{alg: algorithm, material: material}, nil
+}
+
+// Aliases returns the stored aliases.
+func (ks *KeyStore) Aliases() []string {
+	out := make([]string, 0, len(ks.entries))
+	for a := range ks.entries {
+		out = append(out, a)
+	}
+	return out
+}
+
+// sealKey derives the store-sealing key from the password and salt.
+func sealKey(password []rune, salt []byte) (*SecretKey, error) {
+	if len(password) == 0 {
+		return nil, fmt.Errorf("%w: empty key store password", ErrInvalidParameter)
+	}
+	dk, err := pbkdf2.Key(sha256.New, string(password), salt, keyStoreIter, keyStoreKeyLenBit/8)
+	if err != nil {
+		return nil, fmt.Errorf("gca: deriving key store key: %w", err)
+	}
+	return &SecretKey{alg: "AES", material: dk}, nil
+}
+
+// Store seals the entries under password and writes them to w.
+func (ks *KeyStore) Store(w io.Writer, password []rune) error {
+	plain, err := json.Marshal(ks.entries)
+	if err != nil {
+		return fmt.Errorf("gca: serialising key store: %w", err)
+	}
+	salt := make([]byte, keyStoreSaltLen)
+	iv := make([]byte, keyStoreNonceLen)
+	random, err := NewSecureRandom()
+	if err != nil {
+		return err
+	}
+	if err := random.NextBytes(salt); err != nil {
+		return err
+	}
+	if err := random.NextBytes(iv); err != nil {
+		return err
+	}
+	key, err := sealKey(password, salt)
+	if err != nil {
+		return err
+	}
+	spec, err := NewIVParameterSpec(iv)
+	if err != nil {
+		return err
+	}
+	c, err := NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return err
+	}
+	if err := c.InitWithIV(EncryptMode, key, spec); err != nil {
+		return err
+	}
+	sealed, err := c.DoFinal(plain)
+	if err != nil {
+		return err
+	}
+	for _, chunk := range [][]byte{salt, iv, sealed} {
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("gca: writing key store: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadKeyStore reads a sealed key store from r and opens it with password.
+// A wrong password fails GCM authentication and returns an error.
+func LoadKeyStore(r io.Reader, password []rune) (*KeyStore, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("gca: reading key store: %w", err)
+	}
+	if len(data) < keyStoreSaltLen+keyStoreNonceLen+1 {
+		return nil, fmt.Errorf("%w: key store too short", ErrInvalidParameter)
+	}
+	salt := data[:keyStoreSaltLen]
+	iv := data[keyStoreSaltLen : keyStoreSaltLen+keyStoreNonceLen]
+	body := data[keyStoreSaltLen+keyStoreNonceLen:]
+	key, err := sealKey(password, salt)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := NewIVParameterSpec(iv)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.InitWithIV(DecryptMode, key, spec); err != nil {
+		return nil, err
+	}
+	plain, err := c.DoFinal(body)
+	if err != nil {
+		return nil, fmt.Errorf("gca: opening key store (wrong password?): %w", err)
+	}
+	ks := &KeyStore{entries: map[string]keyEntry{}}
+	if err := json.Unmarshal(plain, &ks.entries); err != nil {
+		return nil, fmt.Errorf("gca: corrupt key store payload: %w", err)
+	}
+	return ks, nil
+}

@@ -1,0 +1,104 @@
+package gca
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestKeyStoreRoundTrip(t *testing.T) {
+	ks, err := NewKeyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := mustKey(t, 128)
+	k2 := mustKey(t, 256)
+	if err := ks.SetKeyEntry("first", k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.SetKeyEntry("second", k2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ks.Store(&buf, []rune("store password")); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), k1.Encoded()) || bytes.Contains(buf.Bytes(), k2.Encoded()) {
+		t.Fatal("sealed store leaks raw key material")
+	}
+
+	loaded, err := LoadKeyStore(bytes.NewReader(buf.Bytes()), []rune("store password"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.GetKeyEntry("first", "AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encoded(), k1.Encoded()) || got.Algorithm() != "AES" {
+		t.Error("first entry mismatch")
+	}
+	if len(loaded.Aliases()) != 2 {
+		t.Errorf("aliases: %v", loaded.Aliases())
+	}
+}
+
+func TestKeyStoreWrongPassword(t *testing.T) {
+	ks, _ := NewKeyStore()
+	if err := ks.SetKeyEntry("k", mustKey(t, 128)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ks.Store(&buf, []rune("right")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKeyStore(bytes.NewReader(buf.Bytes()), []rune("wrong")); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	// Tampering must also fail authentication.
+	data := buf.Bytes()
+	data[len(data)-1] ^= 1
+	if _, err := LoadKeyStore(bytes.NewReader(data), []rune("right")); err == nil {
+		t.Fatal("tampered store accepted")
+	}
+}
+
+func TestKeyStoreValidation(t *testing.T) {
+	ks, _ := NewKeyStore()
+	if err := ks.SetKeyEntry("", mustKey(t, 128)); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("empty alias accepted")
+	}
+	if err := ks.SetKeyEntry("a", nil); !errors.Is(err, ErrInvalidKey) {
+		t.Error("nil key accepted")
+	}
+	destroyed := mustKey(t, 128)
+	destroyed.Destroy()
+	if err := ks.SetKeyEntry("a", destroyed); !errors.Is(err, ErrInvalidKey) {
+		t.Error("destroyed key accepted")
+	}
+	if _, err := ks.GetKeyEntry("ghost", "AES"); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("missing alias did not error")
+	}
+	var buf bytes.Buffer
+	if err := ks.Store(&buf, nil); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("empty password accepted")
+	}
+	if _, err := LoadKeyStore(bytes.NewReader([]byte("short")), []rune("p")); !errors.Is(err, ErrInvalidParameter) {
+		t.Error("truncated store accepted")
+	}
+}
+
+func TestKeyStoreDefaultAlgorithmFromEntry(t *testing.T) {
+	ks, _ := NewKeyStore()
+	k := mustKey(t, 192)
+	if err := ks.SetKeyEntry("k", k); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ks.GetKeyEntry("k", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm() != "AES" {
+		t.Errorf("algorithm defaulting: %q", got.Algorithm())
+	}
+}

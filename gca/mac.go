@@ -1,0 +1,78 @@
+package gca
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"hash"
+)
+
+// Mac computes message authentication codes, mirroring javax.crypto.Mac.
+//
+// Supported algorithms: HmacSHA256, HmacSHA384, HmacSHA512. HmacMD5 and
+// HmacSHA1 are rejected as insecure.
+//
+// Protocol: NewMac → InitMac → Update+ → DoFinalMac.
+type Mac struct {
+	alg     string
+	newHash func() hash.Hash
+	h       hash.Hash
+}
+
+// NewMac returns a MAC engine for the named algorithm.
+func NewMac(algorithm string) (*Mac, error) {
+	m := &Mac{alg: algorithm}
+	switch algorithm {
+	case "HmacSHA256":
+		m.newHash = func() hash.Hash { return sha256.New() }
+	case "HmacSHA384":
+		m.newHash = func() hash.Hash { return sha512.New384() }
+	case "HmacSHA512":
+		m.newHash = func() hash.Hash { return sha512.New() }
+	case "HmacMD5", "HmacSHA1":
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, algorithm)
+	default:
+		return nil, fmt.Errorf("%w: unknown Mac algorithm %q", ErrInsecureAlgorithm, algorithm)
+	}
+	return m, nil
+}
+
+// Algorithm returns the MAC algorithm name.
+func (m *Mac) Algorithm() string { return m.alg }
+
+// InitMac keys the MAC engine.
+func (m *Mac) InitMac(key Key) error {
+	sk, ok := asSecret(key)
+	if !ok {
+		return fmt.Errorf("%w: Mac requires a SecretKey", ErrInvalidKey)
+	}
+	if sk.destroyed() {
+		return fmt.Errorf("%w: key material destroyed", ErrInvalidKey)
+	}
+	m.h = hmac.New(m.newHash, sk.rawMaterial())
+	return nil
+}
+
+// Update feeds data into the MAC.
+func (m *Mac) Update(data []byte) error {
+	if m.h == nil {
+		return fmt.Errorf("%w: Mac not initialised", ErrInvalidState)
+	}
+	m.h.Write(data)
+	return nil
+}
+
+// DoFinalMac finalises the MAC, resets the engine for further use with the
+// same key, and returns the tag.
+func (m *Mac) DoFinalMac() ([]byte, error) {
+	if m.h == nil {
+		return nil, fmt.Errorf("%w: Mac not initialised", ErrInvalidState)
+	}
+	tag := m.h.Sum(nil)
+	m.h.Reset()
+	return tag, nil
+}
+
+// Equal reports whether two MAC tags are equal in constant time.
+func Equal(tag1, tag2 []byte) bool { return hmac.Equal(tag1, tag2) }

@@ -1,0 +1,38 @@
+package gca
+
+import "fmt"
+
+// pkcs7Pad appends PKCS#7 padding to data for the given block size. The
+// result length is always a positive multiple of blockSize; input that is
+// already block-aligned gains a full padding block, as the scheme requires.
+func pkcs7Pad(data []byte, blockSize int) []byte {
+	padLen := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+padLen)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(padLen)
+	}
+	return out
+}
+
+// pkcs7Unpad strips and validates PKCS#7 padding.
+//
+// Note: validation here is not constant-time. gca only exposes CBC for
+// at-rest encryption where the caller holds both key and ciphertext; the
+// padding-oracle setting (remote decryption service) is out of scope, and
+// AES-GCM is the rule set's preferred transformation.
+func pkcs7Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, fmt.Errorf("%w: invalid padded length %d", ErrInvalidParameter, len(data))
+	}
+	padLen := int(data[len(data)-1])
+	if padLen == 0 || padLen > blockSize || padLen > len(data) {
+		return nil, fmt.Errorf("%w: corrupt PKCS#7 padding", ErrInvalidParameter)
+	}
+	for _, b := range data[len(data)-padLen:] {
+		if int(b) != padLen {
+			return nil, fmt.Errorf("%w: corrupt PKCS#7 padding", ErrInvalidParameter)
+		}
+	}
+	return data[:len(data)-padLen], nil
+}

@@ -1,0 +1,132 @@
+package gca
+
+import (
+	"crypto/pbkdf2"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"hash"
+	"strings"
+)
+
+// PBEKeySpec carries the inputs of password-based key derivation, mirroring
+// javax.crypto.spec.PBEKeySpec.
+//
+// The password is taken as []rune (the Go analog of Java's char[]): unlike
+// a string, the caller-owned slice can be — and after ClearPassword is —
+// zeroed, limiting the password's lifetime in memory. This reproduces the
+// paper's §2.1 discussion of the String-vs-char[] misuse.
+type PBEKeySpec struct {
+	password  []rune
+	salt      []byte
+	iter      int
+	keyLength int
+	cleared   bool
+}
+
+// NewPBEKeySpec creates a key specification from a password, salt,
+// iteration count and key length (in bits).
+func NewPBEKeySpec(password []rune, salt []byte, iterationCount, keyLength int) (*PBEKeySpec, error) {
+	if len(password) == 0 {
+		return nil, fmt.Errorf("%w: empty password", ErrInvalidParameter)
+	}
+	if len(salt) == 0 {
+		return nil, fmt.Errorf("%w: empty salt", ErrInvalidParameter)
+	}
+	if iterationCount <= 0 {
+		return nil, fmt.Errorf("%w: iteration count must be positive", ErrInvalidParameter)
+	}
+	if keyLength <= 0 || keyLength%8 != 0 {
+		return nil, fmt.Errorf("%w: key length must be a positive multiple of 8 bits", ErrInvalidParameter)
+	}
+	pw := make([]rune, len(password))
+	copy(pw, password)
+	s := make([]byte, len(salt))
+	copy(s, salt)
+	return &PBEKeySpec{password: pw, salt: s, iter: iterationCount, keyLength: keyLength}, nil
+}
+
+// NewPBEKeySpecNoSalt creates a key specification from a password alone,
+// mirroring the salt-less javax.crypto.spec.PBEKeySpec(char[]) constructor.
+//
+// Deprecated: deriving keys without a fresh random salt enables
+// rainbow-table precomputation. The GoCrySL rule for PBEKeySpec lists this
+// constructor in its FORBIDDEN section; it exists so that the misuse
+// analyzer has a realistic forbidden-method target. It uses a fixed
+// all-zero salt and a minimal iteration count on purpose: exactly the kind
+// of code found in the wild.
+func NewPBEKeySpecNoSalt(password []rune) (*PBEKeySpec, error) {
+	return NewPBEKeySpec(password, make([]byte, 8), 1000, 128)
+}
+
+// ClearPassword zeroes the internal password copy. After clearing, the spec
+// can no longer derive keys. The GoCrySL rule requires this call and
+// NEGATES the speccedKey predicate after it.
+func (s *PBEKeySpec) ClearPassword() {
+	for i := range s.password {
+		s.password[i] = 0
+	}
+	s.password = nil
+	s.cleared = true
+}
+
+// Salt returns a copy of the salt.
+func (s *PBEKeySpec) Salt() []byte {
+	out := make([]byte, len(s.salt))
+	copy(out, s.salt)
+	return out
+}
+
+// IterationCount returns the iteration count.
+func (s *PBEKeySpec) IterationCount() int { return s.iter }
+
+// KeyLength returns the requested key length in bits.
+func (s *PBEKeySpec) KeyLength() int { return s.keyLength }
+
+// SecretKeyFactory derives symmetric keys from key specifications,
+// mirroring javax.crypto.SecretKeyFactory. Supported algorithms:
+//
+//	PBKDF2WithHmacSHA256
+//	PBKDF2WithHmacSHA512
+//
+// PBKDF2WithHmacSHA1 and PBEWithMD5AndDES are rejected as insecure.
+type SecretKeyFactory struct {
+	alg  string
+	hash func() hash.Hash
+}
+
+// NewSecretKeyFactory returns a factory for the named key-derivation
+// algorithm.
+func NewSecretKeyFactory(algorithm string) (*SecretKeyFactory, error) {
+	switch algorithm {
+	case "PBKDF2WithHmacSHA256":
+		return &SecretKeyFactory{alg: algorithm, hash: func() hash.Hash { return sha256.New() }}, nil
+	case "PBKDF2WithHmacSHA512":
+		return &SecretKeyFactory{alg: algorithm, hash: func() hash.Hash { return sha512.New() }}, nil
+	}
+	if strings.HasPrefix(algorithm, "PBKDF2WithHmacSHA1") || strings.Contains(algorithm, "MD5") || strings.Contains(algorithm, "DES") {
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, algorithm)
+	}
+	return nil, fmt.Errorf("%w: unknown SecretKeyFactory algorithm %q", ErrInsecureAlgorithm, algorithm)
+}
+
+// Algorithm returns the factory's algorithm name.
+func (f *SecretKeyFactory) Algorithm() string { return f.alg }
+
+// GenerateSecret runs PBKDF2 over the specification and returns the derived
+// key material as a SecretKey tagged with the factory's algorithm. The
+// caller typically re-wraps the material via NewSecretKeySpec for a
+// concrete cipher ("AES").
+func (f *SecretKeyFactory) GenerateSecret(spec *PBEKeySpec) (*SecretKey, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("%w: nil key specification", ErrInvalidParameter)
+	}
+	if spec.cleared {
+		return nil, fmt.Errorf("%w: password already cleared", ErrInvalidState)
+	}
+	dk, err := pbkdf2.Key(f.hash, string(spec.password), spec.salt, spec.iter, spec.keyLength/8)
+	if err != nil {
+		return nil, fmt.Errorf("gca: PBKDF2 derivation: %w", err)
+	}
+	return &SecretKey{alg: f.alg, material: dk}, nil
+}

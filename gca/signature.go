@@ -1,0 +1,145 @@
+package gca
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"hash"
+	"strings"
+)
+
+// Signature creates and verifies digital signatures, mirroring
+// java.security.Signature.
+//
+// Supported algorithms:
+//
+//	SHA256withECDSA, SHA384withECDSA, SHA512withECDSA
+//	SHA256withRSA/PSS, SHA512withRSA/PSS
+//
+// SHA1- and MD5-based schemes, and PKCS#1 v1.5 RSA signatures, are
+// rejected as insecure.
+//
+// Protocol: NewSignature → InitSign or InitVerify → Update+ → Sign or
+// Verify.
+type Signature struct {
+	alg     string
+	newHash func() hash.Hash
+	chash   crypto.Hash
+
+	signKey   *PrivateKey
+	verifyKey *PublicKey
+	h         hash.Hash
+	signing   bool
+	ready     bool
+}
+
+// NewSignature returns a Signature engine for the named algorithm.
+func NewSignature(algorithm string) (*Signature, error) {
+	if strings.Contains(algorithm, "SHA1") || strings.Contains(algorithm, "MD5") {
+		return nil, fmt.Errorf("%w: %s", ErrInsecureAlgorithm, algorithm)
+	}
+	s := &Signature{alg: algorithm}
+	switch algorithm {
+	case "SHA256withECDSA", "SHA256withRSA/PSS":
+		s.newHash = func() hash.Hash { return sha256.New() }
+		s.chash = crypto.SHA256
+	case "SHA384withECDSA":
+		s.newHash = func() hash.Hash { return sha512.New384() }
+		s.chash = crypto.SHA384
+	case "SHA512withECDSA", "SHA512withRSA/PSS":
+		s.newHash = func() hash.Hash { return sha512.New() }
+		s.chash = crypto.SHA512
+	case "SHA256withRSA", "SHA512withRSA":
+		return nil, fmt.Errorf("%w: PKCS#1 v1.5 signatures (%s); use %s/PSS", ErrInsecureAlgorithm, algorithm, algorithm)
+	default:
+		return nil, fmt.Errorf("%w: unknown Signature algorithm %q", ErrInsecureAlgorithm, algorithm)
+	}
+	return s, nil
+}
+
+// Algorithm returns the signature algorithm name.
+func (s *Signature) Algorithm() string { return s.alg }
+
+func (s *Signature) wantsECDSA() bool { return strings.HasSuffix(s.alg, "ECDSA") }
+
+// InitSign prepares the engine for signing with the private key.
+func (s *Signature) InitSign(key *PrivateKey) error {
+	if key == nil {
+		return fmt.Errorf("%w: nil private key", ErrInvalidKey)
+	}
+	if s.wantsECDSA() && key.ec == nil || !s.wantsECDSA() && key.rsa == nil {
+		return fmt.Errorf("%w: %s requires a matching %s key", ErrInvalidKey, s.alg, map[bool]string{true: "ECDSA", false: "RSA"}[s.wantsECDSA()])
+	}
+	s.signKey = key
+	s.verifyKey = nil
+	s.h = s.newHash()
+	s.signing = true
+	s.ready = true
+	return nil
+}
+
+// InitVerify prepares the engine for verification with the public key.
+func (s *Signature) InitVerify(key *PublicKey) error {
+	if key == nil {
+		return fmt.Errorf("%w: nil public key", ErrInvalidKey)
+	}
+	if s.wantsECDSA() && key.ec == nil || !s.wantsECDSA() && key.rsa == nil {
+		return fmt.Errorf("%w: %s requires a matching %s key", ErrInvalidKey, s.alg, map[bool]string{true: "ECDSA", false: "RSA"}[s.wantsECDSA()])
+	}
+	s.verifyKey = key
+	s.signKey = nil
+	s.h = s.newHash()
+	s.signing = false
+	s.ready = true
+	return nil
+}
+
+// Update feeds data into the engine.
+func (s *Signature) Update(data []byte) error {
+	if !s.ready {
+		return fmt.Errorf("%w: Signature not initialised", ErrInvalidState)
+	}
+	s.h.Write(data)
+	return nil
+}
+
+// Sign finalises and returns the signature. The engine must be
+// re-initialised before reuse.
+func (s *Signature) Sign() ([]byte, error) {
+	if !s.ready || !s.signing {
+		return nil, fmt.Errorf("%w: Signature not initialised for signing", ErrInvalidState)
+	}
+	digest := s.h.Sum(nil)
+	s.ready = false
+	if s.wantsECDSA() {
+		sig, err := ecdsa.SignASN1(rand.Reader, s.signKey.ec, digest)
+		if err != nil {
+			return nil, fmt.Errorf("gca: ECDSA signing: %w", err)
+		}
+		return sig, nil
+	}
+	sig, err := rsa.SignPSS(rand.Reader, s.signKey.rsa, s.chash, digest, nil)
+	if err != nil {
+		return nil, fmt.Errorf("gca: RSA-PSS signing: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify finalises and reports whether sig is a valid signature over the
+// updated data. The engine must be re-initialised before reuse.
+func (s *Signature) Verify(sig []byte) (bool, error) {
+	if !s.ready || s.signing {
+		return false, fmt.Errorf("%w: Signature not initialised for verification", ErrInvalidState)
+	}
+	digest := s.h.Sum(nil)
+	s.ready = false
+	if s.wantsECDSA() {
+		return ecdsa.VerifyASN1(s.verifyKey.ec, digest, sig), nil
+	}
+	err := rsa.VerifyPSS(s.verifyKey.rsa, s.chash, digest, sig, nil)
+	return err == nil, nil
+}

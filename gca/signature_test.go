@@ -1,0 +1,213 @@
+package gca
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+)
+
+func ecdsaPair(t *testing.T) *KeyPair {
+	t.Helper()
+	g, err := NewKeyPairGenerator("ECDSA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Init(256); err != nil {
+		t.Fatal(err)
+	}
+	kp, err := g.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestSignatureECDSARoundTrip(t *testing.T) {
+	kp := ecdsaPair(t)
+	s, err := NewSignature("SHA256withECDSA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitSign(kp.Private()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update([]byte("message")); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := s.Sign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewSignature("SHA256withECDSA")
+	if err := v.InitVerify(kp.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Update([]byte("message")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Verify(sig)
+	if err != nil || !ok {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	// Tampered message.
+	v2, _ := NewSignature("SHA256withECDSA")
+	v2.InitVerify(kp.Public())
+	v2.Update([]byte("Message"))
+	if ok, _ := v2.Verify(sig); ok {
+		t.Error("tampered message accepted")
+	}
+}
+
+func TestSignatureRSAPSS(t *testing.T) {
+	g, _ := NewKeyPairGenerator("RSA")
+	if err := g.Init(2048); err != nil {
+		t.Fatal(err)
+	}
+	kp, err := g.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSignature("SHA256withRSA/PSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitSign(kp.Private()); err != nil {
+		t.Fatal(err)
+	}
+	s.Update([]byte("pss message"))
+	sig, err := s.Sign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewSignature("SHA256withRSA/PSS")
+	v.InitVerify(kp.Public())
+	v.Update([]byte("pss message"))
+	if ok, err := v.Verify(sig); err != nil || !ok {
+		t.Fatalf("PSS verify failed: %v", err)
+	}
+}
+
+func TestSignatureRejectsWeakSchemes(t *testing.T) {
+	for _, alg := range []string{"SHA1withECDSA", "MD5withRSA", "SHA256withRSA", "SHA512withRSA"} {
+		if _, err := NewSignature(alg); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s: got %v", alg, err)
+		}
+	}
+}
+
+func TestSignatureKeyMismatch(t *testing.T) {
+	kp := ecdsaPair(t)
+	s, _ := NewSignature("SHA256withRSA/PSS")
+	if err := s.InitSign(kp.Private()); !errors.Is(err, ErrInvalidKey) {
+		t.Error("ECDSA key accepted for RSA scheme")
+	}
+	if err := s.InitVerify(kp.Public()); !errors.Is(err, ErrInvalidKey) {
+		t.Error("ECDSA public key accepted for RSA scheme")
+	}
+	if err := s.InitSign(nil); !errors.Is(err, ErrInvalidKey) {
+		t.Error("nil key accepted")
+	}
+}
+
+func TestSignatureProtocol(t *testing.T) {
+	kp := ecdsaPair(t)
+	s, _ := NewSignature("SHA256withECDSA")
+	if err := s.Update([]byte("x")); !errors.Is(err, ErrInvalidState) {
+		t.Error("Update before Init")
+	}
+	if _, err := s.Sign(); !errors.Is(err, ErrInvalidState) {
+		t.Error("Sign before Init")
+	}
+	s.InitVerify(kp.Public())
+	if _, err := s.Sign(); !errors.Is(err, ErrInvalidState) {
+		t.Error("Sign in verify mode")
+	}
+	s2, _ := NewSignature("SHA256withECDSA")
+	s2.InitSign(kp.Private())
+	s2.Update([]byte("x"))
+	if _, err := s2.Sign(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Sign(); !errors.Is(err, ErrInvalidState) {
+		t.Error("Sign twice without re-init")
+	}
+}
+
+func TestMessageDigestKnownAnswer(t *testing.T) {
+	md, err := NewMessageDigest("SHA-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md.Update([]byte("abc"))
+	got, err := md.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("SHA-256(abc): %x", got)
+	}
+	if md.DigestSize() != 32 {
+		t.Errorf("digest size %d", md.DigestSize())
+	}
+	// Digest resets: a second use hashes fresh data.
+	md.Update([]byte("abc"))
+	got2, _ := md.Digest()
+	if !bytes.Equal(got, got2) {
+		t.Error("digest engine did not reset")
+	}
+}
+
+func TestMessageDigestAlgorithms(t *testing.T) {
+	for _, alg := range []string{"SHA-256", "SHA-384", "SHA-512", "SHA3-256", "SHA3-512"} {
+		md, err := NewMessageDigest(alg)
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		md.Update([]byte("x"))
+		if sum, err := md.Digest(); err != nil || len(sum) == 0 {
+			t.Errorf("%s digest failed: %v", alg, err)
+		}
+	}
+	for _, alg := range []string{"MD5", "SHA-1", "SHA1", "CRC32"} {
+		if _, err := NewMessageDigest(alg); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s accepted", alg)
+		}
+	}
+}
+
+func TestMacRoundTrip(t *testing.T) {
+	key := mustKey(t, 256)
+	m, err := NewMac("HmacSHA256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte("x")); !errors.Is(err, ErrInvalidState) {
+		t.Error("Update before InitMac")
+	}
+	if err := m.InitMac(key); err != nil {
+		t.Fatal(err)
+	}
+	m.Update([]byte("authenticated data"))
+	tag1, err := m.DoFinalMac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Update([]byte("authenticated data"))
+	tag2, _ := m.DoFinalMac()
+	if !Equal(tag1, tag2) {
+		t.Error("HMAC not deterministic after reset")
+	}
+	m.Update([]byte("different data"))
+	tag3, _ := m.DoFinalMac()
+	if Equal(tag1, tag3) {
+		t.Error("different data produced equal tags")
+	}
+	for _, alg := range []string{"HmacMD5", "HmacSHA1", "Poly1305"} {
+		if _, err := NewMac(alg); !errors.Is(err, ErrInsecureAlgorithm) {
+			t.Errorf("%s accepted", alg)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package gca
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// Known-answer tests pin the façade to the underlying primitives: a
+// regression here would mean the wrappers changed the cryptography, not
+// just the API.
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPBKDF2SHA256KnownAnswer uses the widely published PBKDF2-HMAC-SHA256
+// vector (password "password", salt "salt", 1 iteration, 32 bytes).
+func TestPBKDF2SHA256KnownAnswer(t *testing.T) {
+	spec, err := NewPBEKeySpec([]rune("password"), []byte("salt"), 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSecretKeyFactory("PBKDF2WithHmacSHA256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := f.GenerateSecret(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromHex(t, "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b")
+	if !bytes.Equal(key.Encoded(), want) {
+		t.Fatalf("PBKDF2-HMAC-SHA256 KAT failed:\n got %x\nwant %x", key.Encoded(), want)
+	}
+}
+
+// TestPBKDF2SHA256KnownAnswer4096 covers the 4096-iteration vector.
+func TestPBKDF2SHA256KnownAnswer4096(t *testing.T) {
+	spec, err := NewPBEKeySpec([]rune("password"), []byte("salt"), 4096, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewSecretKeyFactory("PBKDF2WithHmacSHA256")
+	key, err := f.GenerateSecret(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromHex(t, "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a")
+	if !bytes.Equal(key.Encoded(), want) {
+		t.Fatalf("PBKDF2 4096-iteration KAT failed: %x", key.Encoded())
+	}
+}
+
+// TestGCMKnownAnswer pins AES-128-GCM to a NIST CAVS vector
+// (gcmEncryptExtIV128, PTlen=128 entry).
+func TestGCMKnownAnswer(t *testing.T) {
+	key, err := NewSecretKeySpec(fromHex(t, "7fddb57453c241d03efbed3ac44e371c"), "AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := NewIVParameterSpec(fromHex(t, "ee283a3fc75575e33efd4887"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCipher("AES/GCM/NoPadding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InitWithIV(EncryptMode, key, iv); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := c.DoFinal(fromHex(t, "d5de42b461646c255c87bd2962d3b9a2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromHex(t, "2ccda4a5415cb91e135c2a0f78c9b2fd"+"b36d1df9b9d5e596f83e8b7f52971cb3")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("AES-128-GCM KAT failed:\n got %x\nwant %x", ct, want)
+	}
+}
+
+// TestHMACSHA256KnownAnswer pins the Mac engine to RFC 4231 test case 2.
+func TestHMACSHA256KnownAnswer(t *testing.T) {
+	key, err := NewSecretKeySpec([]byte("Jefe"), "Hmac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMac("HmacSHA256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitMac(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte("what do ya want for nothing?")); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := m.DoFinalMac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromHex(t, "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+	if !bytes.Equal(tag, want) {
+		t.Fatalf("HMAC-SHA256 RFC 4231 KAT failed: %x", tag)
+	}
+}
+
+// TestSHA512KnownAnswer pins MessageDigest SHA-512 on "abc".
+func TestSHA512KnownAnswer(t *testing.T) {
+	md, err := NewMessageDigest("SHA-512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md.Update([]byte("abc"))
+	got, err := md.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fromHex(t, "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"+
+		"2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SHA-512 KAT failed: %x", got)
+	}
+}

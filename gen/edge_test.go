@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/crysl"
+	"cognicryptgen/rules"
+)
+
+// TestMaxPathsBoundRespected: with MaxPaths=1 only the single shortest
+// accepting path is considered; for the digest rule that path happens to
+// be the full one, so generation still succeeds — the point is that the
+// bound does not break the pipeline.
+func TestMaxPathsBoundRespected(t *testing.T) {
+	g, err := New(rules.MustLoad(), "", Options{MaxPaths: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GenerateFile("mini.go", miniTemplate); err != nil {
+		t.Fatalf("MaxPaths=1 broke single-path generation: %v", err)
+	}
+}
+
+// TestRuleWithWildcardParameterPushesUp: wildcard event parameters cannot
+// be resolved and must surface as pushed-up placeholders, not failures.
+func TestRuleWithWildcardParameterPushesUp(t *testing.T) {
+	wildRule, err := crysl.ParseRule("wild.crysl", `SPEC gca.MessageDigest
+OBJECTS
+    string hashAlg;
+    []byte input;
+    []byte digest;
+EVENTS
+    c1: NewMessageDigest(_);
+    u1: Update(input);
+    d1: digest := Digest();
+ORDER
+    c1, u1, d1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := crysl.NewRuleSet()
+	if err := set.Add(wildRule); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(set, "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.GenerateFile("mini.go", miniTemplate)
+	if err != nil {
+		t.Fatalf("wildcard parameter should push up, not fail: %v", err)
+	}
+	if len(res.Report.PushedUp) == 0 {
+		t.Error("wildcard parameter not reported as pushed up")
+	}
+	if !strings.Contains(res.Output, "TODO(cryptgen)") {
+		t.Error("placeholder missing")
+	}
+}
+
+// TestReturnObjectTypeMismatchRejected: an AddReturnObject whose type no
+// path can produce must fail with a clear message.
+func TestReturnObjectTypeMismatchRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := strings.Replace(miniTemplate, "var digest []byte", "var digest int", 1)
+	src = strings.Replace(src, "Hash(data []byte) ([]byte, error)", "Hash(data []byte) (int, error)", 1)
+	_, err := g.GenerateFile("mini.go", src)
+	if err == nil || !strings.Contains(err.Error(), "return object") {
+		t.Fatalf("type-mismatched return object not rejected: %v", err)
+	}
+}
+
+// TestRuleWithoutConstructorNeedsProducer: considering a receiver-style
+// rule (SecretKey) without anything producing the object must fail with a
+// helpful error.
+func TestRuleWithoutConstructorNeedsProducer(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package orphan
+
+import (
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type O struct{}
+
+// Orphan considers SecretKey with no producer in the chain.
+func (o *O) Orphan() ([]byte, error) {
+	var material []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecretKey").AddReturnObject(material).
+		Generate()
+	return material, nil
+}
+`
+	_, err := g.GenerateFile("orphan.go", src)
+	if err == nil || !strings.Contains(err.Error(), "no constructor") {
+		t.Fatalf("orphan receiver rule not rejected usefully: %v", err)
+	}
+}
+
+// TestThisBindingSuppliesReceiver: AddParameter(x, "this") supplies the
+// receiver from template glue, as the signing template does.
+func TestThisBindingSuppliesReceiver(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package recv
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type R struct{}
+
+// Extract pulls the public key out of a caller-provided pair.
+func (r *R) Extract(kp *gca.KeyPair) (*gca.PublicKey, error) {
+	var pub *gca.PublicKey
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPair").AddParameter(kp, "this").AddReturnObject(pub).
+		Generate()
+	return pub, nil
+}
+`
+	res, err := g.GenerateFile("recv.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "kp.Public()") {
+		t.Errorf("receiver binding not used:\n%s", res.Output)
+	}
+}

@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/analysis"
+	"cognicryptgen/rules"
+	"cognicryptgen/templates"
+)
+
+// TestExtensionUseCases covers the §7-future-work templates beyond
+// Table 1 (currently: HMAC message authentication, written with the
+// fluent rule-name constants).
+func TestExtensionUseCases(t *testing.T) {
+	g := sharedGenerator(t)
+	an, err := analysis.New(rules.MustLoad(), "", analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uc := range templates.Extensions {
+		src, err := templates.Source(uc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.GenerateFile(uc.File, src)
+		if err != nil {
+			t.Fatalf("extension %d (%s): %v", uc.ID, uc.Name, err)
+		}
+		if len(res.Report.PushedUp) > 0 {
+			t.Errorf("extension %d: pushed up %v", uc.ID, res.Report.PushedUp)
+		}
+		rep, err := an.AnalyzeSource(uc.File, res.Output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.HasFindings() {
+			t.Errorf("extension %d: misuses %v", uc.ID, rep.Findings)
+		}
+		if uc.ID == 12 {
+			for _, want := range []string{`gca.NewMac("HmacSHA256")`, "mac.InitMac(key)", "mac.DoFinalMac()"} {
+				if !strings.Contains(res.Output, want) {
+					t.Errorf("HMAC output missing %q:\n%s", want, res.Output)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package fluent
+
+import "testing"
+
+// TestChainIsTypeCheckableNoOp: ConsiderRule/AddParameter/AddReturnObject
+// must chain without side effects (templates are parsed, never run).
+func TestChainIsTypeCheckableNoOp(t *testing.T) {
+	b := NewGenerator()
+	if b.ConsiderRule(RuleCipher).AddParameter(1, "encmode").AddReturnObject(nil) != b {
+		t.Error("chain must return the same builder")
+	}
+}
+
+// TestGeneratePanics: executing a template instead of generating from it
+// must fail loudly.
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate must panic when executed")
+		}
+	}()
+	_ = NewGenerator().ConsiderRule(RuleMac).Generate()
+}
+
+// TestRuleConstantsMatchEmbeddedRuleNames is in the gen package (needs the
+// rules import); here we only pin the shape of the constants.
+func TestRuleConstantsAreQualified(t *testing.T) {
+	for _, c := range []string{
+		RuleSecureRandom, RulePBEKeySpec, RuleSecretKeyFactory, RuleSecretKey,
+		RuleSecretKeySpec, RuleKeyGenerator, RuleKeyPairGenerator, RuleKeyPair,
+		RuleIVParameterSpec, RuleCipher, RuleSignature, RuleMessageDigest,
+		RuleMac, RuleKeyStore,
+	} {
+		if len(c) < 5 || c[:4] != "gca." {
+			t.Errorf("constant %q not gca-qualified", c)
+		}
+	}
+}

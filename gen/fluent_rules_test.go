@@ -1,0 +1,30 @@
+package gen
+
+import (
+	"testing"
+
+	"cognicryptgen/gen/fluent"
+	"cognicryptgen/rules"
+)
+
+// TestFluentConstantsResolve: every fluent rule-name constant must name a
+// rule in the embedded set (and vice versa), keeping the "enumeration"
+// surface in sync with the artefacts.
+func TestFluentConstantsResolve(t *testing.T) {
+	set := rules.MustLoad()
+	consts := []string{
+		fluent.RuleSecureRandom, fluent.RulePBEKeySpec, fluent.RuleSecretKeyFactory,
+		fluent.RuleSecretKey, fluent.RuleSecretKeySpec, fluent.RuleKeyGenerator,
+		fluent.RuleKeyPairGenerator, fluent.RuleKeyPair, fluent.RuleIVParameterSpec,
+		fluent.RuleCipher, fluent.RuleSignature, fluent.RuleMessageDigest,
+		fluent.RuleMac, fluent.RuleKeyStore,
+	}
+	if len(consts) != set.Len() {
+		t.Errorf("constants (%d) out of sync with rule set (%d)", len(consts), set.Len())
+	}
+	for _, c := range consts {
+		if _, ok := set.Get(c); !ok {
+			t.Errorf("constant %q names no rule", c)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package gen
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cognicryptgen/rules"
+	"cognicryptgen/templates"
+)
+
+var (
+	sharedOnce sync.Once
+	sharedGen  *Generator
+	sharedErr  error
+)
+
+// sharedGenerator amortises the one-off stdlib type-checking cost across
+// the package's tests.
+func sharedGenerator(t *testing.T) *Generator {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedGen, sharedErr = New(rules.MustLoad(), "", Options{Verify: true})
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedGen
+}
+
+const miniTemplate = `//go:build cryptgen_template
+
+package mini
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// Hasher hashes.
+type Hasher struct{}
+
+// Hash hashes data.
+func (h *Hasher) Hash(data []byte) ([]byte, error) {
+	var digest []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.MessageDigest").AddParameter(data, "input").AddReturnObject(digest).
+		Generate()
+	_ = gca.ErrInvalidState
+	return digest, nil
+}
+`
+
+func TestMiniTemplateGenerates(t *testing.T) {
+	g := sharedGenerator(t)
+	res, err := g.GenerateFile("mini.go", miniTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`gca.NewMessageDigest("SHA-256")`,
+		"messageDigest.Update(data)",
+		"digest = ",
+		"func TemplateUsage(",
+	} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("output missing %q:\n%s", want, res.Output)
+		}
+	}
+	if strings.Contains(res.Output, "cryslgen") {
+		t.Error("fluent API survived into generated code")
+	}
+	if strings.Contains(res.Output, "cryptgen_template") {
+		t.Error("build tag survived into generated code")
+	}
+}
+
+func TestUnknownRuleRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := strings.Replace(miniTemplate, "gca.MessageDigest", "gca.Nonexistent", 1)
+	_, err := g.GenerateFile("mini.go", src)
+	if err == nil || !strings.Contains(err.Error(), "Nonexistent") {
+		t.Fatalf("unknown rule not reported: %v", err)
+	}
+}
+
+func TestTemplateMustTypeCheck(t *testing.T) {
+	g := sharedGenerator(t)
+	src := strings.Replace(miniTemplate, "var digest []byte", "var digest NoSuchType", 1)
+	_, err := g.GenerateFile("mini.go", src)
+	if err == nil || !strings.Contains(err.Error(), "type-check") {
+		t.Fatalf("broken template not reported: %v", err)
+	}
+}
+
+func TestBindingViolatingConstraintRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package bad
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type Weak struct{}
+
+// Derive derives with an iteration count below the rule's minimum.
+func (w *Weak) Derive(pwd []rune, salt []byte) (*gca.SecretKeySpec, error) {
+	iterations := 100
+	var key *gca.SecretKeySpec
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").AddParameter(salt, "salt").AddParameter(iterations, "iterationCount").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(key).
+		Generate()
+	return key, nil
+}
+`
+	_, err := g.GenerateFile("bad.go", src)
+	if err == nil || !strings.Contains(err.Error(), "violates constraints") {
+		t.Fatalf("constraint-violating binding not rejected: %v", err)
+	}
+}
+
+func TestMethodWithoutErrorResultRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := strings.Replace(miniTemplate,
+		"func (h *Hasher) Hash(data []byte) ([]byte, error) {", "func (h *Hasher) Hash(data []byte) []byte {", 1)
+	src = strings.Replace(src, "return digest, nil", "return digest", 1)
+	_, err := g.GenerateFile("mini.go", src)
+	if err == nil || !strings.Contains(err.Error(), "error as final result") {
+		t.Fatalf("missing error result not reported: %v", err)
+	}
+}
+
+func TestDoubleBindingRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := strings.Replace(miniTemplate,
+		`AddParameter(data, "input")`,
+		`AddParameter(data, "input").AddParameter(data, "input")`, 1)
+	_, err := g.GenerateFile("mini.go", src)
+	if err == nil || !strings.Contains(err.Error(), "bound twice") {
+		t.Fatalf("double binding not rejected: %v", err)
+	}
+}
+
+func TestNoDerivationPushesUp(t *testing.T) {
+	g, err := New(rules.MustLoad(), "", Options{NoDerivation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.GenerateFile("mini.go", miniTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.PushedUp) == 0 {
+		t.Error("disabling derivation should push the hash algorithm up")
+	}
+	if !strings.Contains(res.Output, "TODO(cryptgen)") {
+		t.Error("pushed-up placeholder missing from output")
+	}
+}
+
+func TestReportRecordsDecisions(t *testing.T) {
+	g := sharedGenerator(t)
+	res, err := g.GenerateFile("mini.go", miniTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Methods) != 1 {
+		t.Fatalf("methods: %d", len(res.Report.Methods))
+	}
+	rr := res.Report.Methods[0].Rules[0]
+	if rr.Rule != "gca.MessageDigest" || len(rr.Path) != 3 {
+		t.Errorf("rule report: %+v", rr)
+	}
+	if len(rr.Resolutions) == 0 {
+		t.Error("resolutions not recorded")
+	}
+	if res.Report.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}
+
+func TestGeneratedOutputIsStable(t *testing.T) {
+	g := sharedGenerator(t)
+	uc, _ := templates.ByID(3)
+	src, _ := templates.Source(uc)
+	a, err := g.GenerateFile(uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.GenerateFile(uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Output != b.Output {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestDecryptModeBindingSelectsDecryptPath(t *testing.T) {
+	g := sharedGenerator(t)
+	uc, _ := templates.ByID(3)
+	src, _ := templates.Source(uc)
+	res, err := g.GenerateFile(uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "cipher.InitWithIV(mode, key, iVParameterSpec)") {
+		t.Errorf("decrypt chain should thread the template's mode binding:\n%s", res.Output)
+	}
+}
+
+func TestPaperValuesDerived(t *testing.T) {
+	g := sharedGenerator(t)
+	uc, _ := templates.ByID(3)
+	src, _ := templates.Source(uc)
+	res, err := g.GenerateFile(uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.3: ≥10000 iterations → closest satisfying value 10000; keylength →
+	// first literal 128; derivation algorithm → first literal; cipher →
+	// GCM (first literal of the SecretKey branch).
+	for _, want := range []string{
+		"10000, 128",
+		`"PBKDF2WithHmacSHA256"`,
+		`"AES/GCM/NoPadding"`,
+		`"AES"`,
+	} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("derived value %s missing", want)
+		}
+	}
+	// ClearPassword must be the deferred, last crypto call of GetKey.
+	getKey := res.Output[strings.Index(res.Output, "func (t *PBEByteArrayEncryptor) GetKey"):]
+	getKey = getKey[:strings.Index(getKey, "\n}")]
+	clearIdx := strings.Index(getKey, "ClearPassword")
+	specIdx := strings.Index(getKey, "NewSecretKeySpec")
+	if clearIdx < specIdx {
+		t.Error("ClearPassword not deferred to the end of the block (paper §3.3)")
+	}
+}
+
+func TestLowerFirst(t *testing.T) {
+	cases := map[string]string{
+		"PBEKeySpec":   "pBEKeySpec",
+		"Cipher":       "cipher",
+		"SecureRandom": "secureRandom",
+		"":             "",
+	}
+	for in, want := range cases {
+		if got := lowerFirst(in); got != want {
+			t.Errorf("lowerFirst(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNamesAllocator(t *testing.T) {
+	n := &names{used: map[string]bool{"x": true}}
+	if got := n.alloc("x"); got != "x2" {
+		t.Errorf("collision: %q", got)
+	}
+	if got := n.alloc("x"); got != "x3" {
+		t.Errorf("second collision: %q", got)
+	}
+	if got := n.alloc("y"); got != "y" {
+		t.Errorf("fresh: %q", got)
+	}
+	if got := n.alloc(""); got != "v" {
+		t.Errorf("empty base: %q", got)
+	}
+}
+
+func TestTwoChainsInOneMethod(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package multi
+
+import (
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type DoubleHasher struct{}
+
+// HashBoth hashes two inputs independently.
+func (h *DoubleHasher) HashBoth(a, b []byte) ([]byte, []byte, error) {
+	var da []byte
+	var db []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.MessageDigest").AddParameter(a, "input").AddReturnObject(da).
+		Generate()
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.MessageDigest").AddParameter(b, "input").AddReturnObject(db).
+		Generate()
+	return da, db, nil
+}
+`
+	res, err := g.GenerateFile("multi.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(res.Output, "gca.NewMessageDigest"); c != 2 {
+		t.Errorf("expected 2 digest constructions, got %d:\n%s", c, res.Output)
+	}
+	// Name collision between chains must be resolved.
+	if !strings.Contains(res.Output, "messageDigest2") {
+		t.Errorf("second chain should get a fresh variable name:\n%s", res.Output)
+	}
+}

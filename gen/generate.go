@@ -1,0 +1,476 @@
+// Package gen implements CogniCryptGEN, the CrySL-driven secure code
+// generator of the CGO 2020 paper, for Go.
+//
+// Given a code template (a Go file whose methods contain fluent chains,
+// see package cognicryptgen/gen/fluent) and a compiled GoCrySL rule set,
+// the generator:
+//
+//  1. collects the rules and their template bindings from each fluent
+//     chain (workflow step ①),
+//  2. links rules through ENSURES/REQUIRES predicates (step ②),
+//  3. enumerates accepting call paths from each rule's ORDER automaton and
+//     selects one per rule — preferring paths that consume predicate links,
+//     then the shortest path with the fewest parameters (step ③),
+//  4. resolves each call parameter through the paper's cascade: template
+//     binding → predicate-carrying generated object → constraint-derived
+//     secure value → pushed-up placeholder (step ④), and
+//  5. splices the assembled, error-handled Go statements over the fluent
+//     chain, appends calls that would NEGATE predicates to the end of the
+//     block, and synthesizes a TemplateUsage function (step ⑤).
+//
+// The output is gofmt-formatted and, when Options.Verify is set,
+// type-checked against the module with go/types, realising the paper's
+// guarantee that generated code is syntactically valid and type-correct.
+package gen
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+	"time"
+
+	"cognicryptgen/crysl"
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/constraint"
+	"cognicryptgen/internal/srccheck"
+)
+
+// Options configures a Generator.
+type Options struct {
+	// PackageName overrides the output package name ("" keeps the
+	// template's).
+	PackageName string
+	// Verify type-checks the generated file against the module.
+	Verify bool
+	// MaxPaths bounds accepting-path enumeration per rule (0 = 512).
+	MaxPaths int
+
+	// Ablation switches (all default off = full algorithm). They exist for
+	// the E7 ablation benchmarks documented in DESIGN.md.
+	NoLinkPreference bool // ignore predicate links when ranking paths
+	NoDerivation     bool // disable constraint-derived values (cascade step c)
+	NoBindingFilter  bool // do not require paths to cover template bindings
+	NFASimulation    bool // (analysis-side knob; kept here for symmetry)
+}
+
+// Generator turns code templates into secure implementations.
+// A Generator is not safe for concurrent use: it threads the current
+// chain's object pool through generation.
+type Generator struct {
+	rules   *crysl.RuleSet
+	checker *srccheck.Checker
+	api     *apiModel
+	opts    Options
+
+	// curPool is the object pool of the chain currently being generated.
+	curPool []*genObject
+}
+
+// New creates a Generator over the rule set. The module is located from
+// dir ("" = working directory) so that templates and generated code can be
+// type-checked against it.
+func New(ruleSet *crysl.RuleSet, dir string, opts Options) (*Generator, error) {
+	checker, err := srccheck.NewChecker(dir)
+	if err != nil {
+		return nil, err
+	}
+	gcaPkg, err := checker.ImportPackage(srccheck.ModulePath + "/gca")
+	if err != nil {
+		return nil, fmt.Errorf("gen: loading crypto façade: %w", err)
+	}
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 512
+	}
+	return &Generator{
+		rules:   ruleSet,
+		checker: checker,
+		api:     buildAPIModel(gcaPkg),
+		opts:    opts,
+	}, nil
+}
+
+// Rules returns the generator's rule set.
+func (g *Generator) Rules() *crysl.RuleSet { return g.rules }
+
+// Result is the outcome of generating one template.
+type Result struct {
+	// Output is the complete generated Go source file.
+	Output string
+	// Report records the decisions taken during generation.
+	Report *Report
+}
+
+// Report collects diagnostics of a generation run (selected paths,
+// parameter resolutions, recorded assumptions, pushed-up parameters).
+type Report struct {
+	Template    string
+	Methods     []*MethodReport
+	Assumptions []string
+	PushedUp    []string
+	Duration    time.Duration
+}
+
+// MethodReport records per-method generation decisions.
+type MethodReport struct {
+	Name  string
+	Rules []*RuleReport
+}
+
+// RuleReport records the decisions for one rule invocation.
+type RuleReport struct {
+	Rule        string
+	Path        []string
+	Resolutions []string
+}
+
+// GenerateFile runs the full pipeline on template source text. name is
+// used for diagnostics only.
+func (g *Generator) GenerateFile(name, src string) (*Result, error) {
+	start := time.Now()
+	file, pkg, info, err := g.checker.CheckSource(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("gen: template %s does not type-check: %w", name, err)
+	}
+	tmpl, err := scanTemplate(name, src, file, g.checker.Fset, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Template: name}
+
+	replacements := map[int][2]int{} // keyed by start offset -> [end, idx into texts]
+	var texts []string
+	for _, m := range tmpl.Methods {
+		mr := &MethodReport{Name: m.Decl.Name.Name}
+		report.Methods = append(report.Methods, mr)
+		methodNames := newNames(m) // shared across the method's chains
+		for _, chain := range m.Chains {
+			code, err := g.generateChain(tmpl, m, chain, methodNames, mr, report)
+			if err != nil {
+				return nil, fmt.Errorf("gen: %s.%s: %w", tmpl.StructName, m.Decl.Name.Name, err)
+			}
+			startOff := g.checker.Fset.Position(chain.Stmt.Pos()).Offset
+			endOff := g.checker.Fset.Position(chain.Stmt.End()).Offset
+			replacements[startOff] = [2]int{endOff, len(texts)}
+			texts = append(texts, code)
+		}
+	}
+
+	usage, err := g.synthesizeUsage(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	out, err := g.spliceOutput(tmpl, replacements, texts, usage)
+	if err != nil {
+		return nil, err
+	}
+	if g.opts.Verify {
+		if _, _, _, err := g.checker.CheckSource("generated_"+name, out); err != nil {
+			return nil, fmt.Errorf("gen: generated code failed verification (this is a generator bug): %w", err)
+		}
+	}
+	report.Duration = time.Since(start)
+	return &Result{Output: out, Report: report}, nil
+}
+
+// link is an ENSURES→REQUIRES connection between two invocations of a
+// chain (workflow step ②).
+type link struct {
+	producer, consumer int
+	pred               string
+	consumerVar        string // rule variable on the consumer side
+}
+
+// computeLinks walks invocation pairs i<j and connects predicates a
+// producer can grant to predicates a consumer requires, matching on
+// predicate name and declared-type compatibility. A REQUIRES only
+// participates when the required object appears on at least one path the
+// consumer could feasibly select (given its bindings and return object) —
+// CrySL requirements are conditional on the object actually being used.
+func (g *Generator) computeLinks(tmpl *Template, m *TemplateMethod, chain *Chain) []link {
+	var links []link
+	for j, cinv := range chain.Invocations {
+		crule, ok := g.rules.Get(cinv.RuleName)
+		if !ok {
+			continue
+		}
+		feasibleVars := g.feasibleVars(tmpl, m, crule, cinv)
+		for _, req := range crule.AST.Requires {
+			if len(req.Params) == 0 {
+				continue
+			}
+			if !req.Params[0].This && !req.Params[0].Wildcard && !feasibleVars[req.Params[0].Name] {
+				continue
+			}
+			// Determine the declared type of the required object.
+			var declType ast.Type
+			target := req.Params[0]
+			switch {
+			case target.This:
+				declType = ast.Type{Name: crule.SpecType()}
+			case target.Wildcard:
+				continue
+			default:
+				obj, ok := crule.Objects[target.Name]
+				if !ok {
+					continue
+				}
+				declType = obj.Type
+			}
+			// Nearest earlier producer that ENSURES the predicate on a
+			// compatible object.
+			for i := j - 1; i >= 0; i-- {
+				pinv := chain.Invocations[i]
+				prule, ok := g.rules.Get(pinv.RuleName)
+				if !ok {
+					continue
+				}
+				if g.canGrant(prule, req.Name, declType) {
+					cv := ""
+					if !target.This {
+						cv = target.Name
+					}
+					links = append(links, link{producer: i, consumer: j, pred: req.Name, consumerVar: cv})
+					break
+				}
+			}
+		}
+	}
+	return links
+}
+
+// feasibleVars returns the rule variables referenced by at least one
+// accepting path that survives the consumer's binding and return-object
+// filters.
+func (g *Generator) feasibleVars(tmpl *Template, m *TemplateMethod, rule *crysl.Rule, inv *Invocation) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range rule.DFA.AcceptingPaths(g.opts.MaxPaths) {
+		if !g.opts.NoBindingFilter && !pathCoversBindings(rule, p, inv) {
+			continue
+		}
+		if !g.pathCoversReturn(tmpl, m, rule, p, inv) {
+			continue
+		}
+		for _, label := range p {
+			if ev, ok := rule.Event(label); ok {
+				for _, prm := range ev.Params {
+					if !prm.Wildcard {
+						out[prm.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pathCoversReturn checks that, when the invocation designates a return
+// object, the path produces a value assignable to it (either an event
+// result or the constructed object itself).
+func (g *Generator) pathCoversReturn(tmpl *Template, m *TemplateMethod, rule *crysl.Rule, path []string, inv *Invocation) bool {
+	if inv.ReturnObj == "" {
+		return true
+	}
+	identType, ok := m.VarTypes[inv.ReturnObj]
+	if !ok {
+		return false
+	}
+	specName := g.api.unqualify(rule.SpecType())
+	for _, label := range path {
+		ev, ok := rule.Event(label)
+		if !ok {
+			continue
+		}
+		if shape, isCtor := g.api.constructorFor(ev.Method, specName); isCtor {
+			if shape.value != nil && types.AssignableTo(shape.value, identType) {
+				return true
+			}
+			continue
+		}
+		if ev.Result == "" || ev.Result == "this" {
+			continue
+		}
+		if shape, ok := g.api.methodOn(specName, ev.Method); ok && shape.value != nil && types.AssignableTo(shape.value, identType) {
+			return true
+		}
+	}
+	return false
+}
+
+// canGrant reports whether a rule's ENSURES section can grant pred on an
+// object compatible with declType.
+func (g *Generator) canGrant(rule *crysl.Rule, pred string, declType ast.Type) bool {
+	for _, e := range rule.AST.Ensures {
+		if e.Name != pred || len(e.Params) == 0 {
+			continue
+		}
+		var producedType ast.Type
+		p := e.Params[0]
+		switch {
+		case p.This:
+			producedType = ast.Type{Name: rule.SpecType()}
+		case p.Wildcard:
+			return true
+		default:
+			obj, ok := rule.Objects[p.Name]
+			if !ok {
+				continue
+			}
+			producedType = obj.Type
+		}
+		if g.crySLTypeCompatible(producedType, declType) {
+			return true
+		}
+	}
+	return false
+}
+
+// crySLTypeCompatible reports whether an object of type 'from' can fill a
+// slot declared as type 'to', honouring the gca supertype table.
+func (g *Generator) crySLTypeCompatible(from, to ast.Type) bool {
+	if from == to {
+		return true
+	}
+	if from.Slice != to.Slice {
+		return false
+	}
+	if from.IsNamed() && to.IsNamed() {
+		for _, super := range g.api.supertypes[from.Name] {
+			if super == to.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortPaths ranks candidate paths: link score descending (paths that
+// consume required predicates and grant predicates later rules rely on,
+// workflow steps ②③), then fewest calls, then fewest parameters, then
+// lexicographic (stability).
+func (g *Generator) sortPaths(rule *crysl.Rule, paths [][]string, wantVars, wantGrants map[string]bool) {
+	score := func(p []string) int {
+		if g.opts.NoLinkPreference {
+			return 0
+		}
+		s := 0
+		seen := map[string]bool{}
+		for _, label := range p {
+			if ev, ok := rule.Event(label); ok {
+				for _, prm := range ev.Params {
+					if wantVars[prm.Name] && !seen[prm.Name] {
+						seen[prm.Name] = true
+						s++
+					}
+				}
+			}
+			for _, pd := range rule.EnsuredAfter(label) {
+				if wantGrants[pd.Name] && !seen["grant:"+pd.Name] {
+					seen["grant:"+pd.Name] = true
+					s++
+				}
+			}
+		}
+		return s
+	}
+	params := func(p []string) int {
+		n := 0
+		for _, label := range p {
+			if ev, ok := rule.Event(label); ok {
+				n += len(ev.Params)
+			}
+		}
+		return n
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		si, sj := score(paths[i]), score(paths[j])
+		if si != sj {
+			return si > sj
+		}
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) < len(paths[j])
+		}
+		pi, pj := params(paths[i]), params(paths[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return strings.Join(paths[i], ",") < strings.Join(paths[j], ",")
+	})
+}
+
+// pathCoversBindings checks that every bound rule variable that occurs in
+// some event pattern is referenced by at least one event on the path.
+func pathCoversBindings(rule *crysl.Rule, path []string, inv *Invocation) bool {
+	for v := range inv.Bindings {
+		if v == "this" {
+			continue
+		}
+		appearsInRule := false
+		for _, ev := range rule.Events {
+			for _, p := range ev.Params {
+				if p.Name == v {
+					appearsInRule = true
+				}
+			}
+			if ev.Result == v {
+				appearsInRule = true
+			}
+		}
+		if !appearsInRule {
+			continue // constraint-only variable; nothing to cover
+		}
+		covered := false
+		for _, label := range path {
+			ev, ok := rule.Event(label)
+			if !ok {
+				continue
+			}
+			if ev.Result == v {
+				covered = true
+				break
+			}
+			for _, p := range ev.Params {
+				if p.Name == v {
+					covered = true
+					break
+				}
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// evalConstraints evaluates every rule constraint under env (with Called
+// reflecting the chosen path) and returns the violated ones.
+func evalConstraints(rule *crysl.Rule, env *constraint.Env) []string {
+	var violations []string
+	for _, c := range rule.AST.Constraints {
+		if constraint.Eval(c, env) == constraint.False {
+			violations = append(violations, c.String())
+		}
+	}
+	return violations
+}
+
+// calledSet expands a path's labels for CallTo evaluation: both the
+// concrete labels and any aggregates containing them are marked called.
+func calledSet(rule *crysl.Rule, path []string) map[string]bool {
+	called := map[string]bool{}
+	for _, label := range path {
+		called[label] = true
+	}
+	for agg, members := range rule.Aggregates {
+		for _, m := range members {
+			if called[m] {
+				called[agg] = true
+				break
+			}
+		}
+	}
+	return called
+}
+
+var _ = types.Identical // referenced from sibling files

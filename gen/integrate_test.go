@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cognicryptgen/templates"
+)
+
+func TestGenerateIntoExistingPackage(t *testing.T) {
+	g := sharedGenerator(t)
+	dir := t.TempDir()
+	existing := `package myapp
+
+// AppVersion is pre-existing project code the generated file must coexist
+// with.
+const AppVersion = "1.0"
+`
+	if err := os.WriteFile(filepath.Join(dir, "app.go"), []byte(existing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	uc, _ := templates.ByID(11)
+	src, _ := templates.Source(uc)
+	path, res, err := g.GenerateInto(dir, uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "hashing_cryptgen.go" {
+		t.Errorf("output path: %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "package myapp") {
+		t.Errorf("generated file must adopt the target package:\n%s", data)
+	}
+	if res.Report == nil {
+		t.Error("report missing")
+	}
+}
+
+func TestGenerateIntoEmptyDirectory(t *testing.T) {
+	g := sharedGenerator(t)
+	dir := filepath.Join(t.TempDir(), "crypto-utils")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	uc, _ := templates.ByID(11)
+	src, _ := templates.Source(uc)
+	path, _, err := g.GenerateInto(dir, uc.File, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "package cryptoutils") {
+		t.Errorf("package name not derived from directory:\n%s", data)
+	}
+}
+
+func TestGenerateIntoDetectsConflicts(t *testing.T) {
+	g := sharedGenerator(t)
+	dir := t.TempDir()
+	// The template declares StringHasher; a pre-existing conflicting
+	// declaration must be caught by joint verification, not at build time.
+	conflicting := `package myapp
+
+type StringHasher struct{ Field int }
+`
+	if err := os.WriteFile(filepath.Join(dir, "conflict.go"), []byte(conflicting), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	uc, _ := templates.ByID(11)
+	src, _ := templates.Source(uc)
+	if _, _, err := g.GenerateInto(dir, uc.File, src); err == nil {
+		t.Fatal("conflicting declaration not detected")
+	} else if !strings.Contains(err.Error(), "conflicts with package") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Nothing may have been written.
+	if _, err := os.Stat(filepath.Join(dir, "hashing_cryptgen.go")); !os.IsNotExist(err) {
+		t.Error("output written despite conflict")
+	}
+}
+
+func TestGenerateIntoMissingDirectory(t *testing.T) {
+	g := sharedGenerator(t)
+	uc, _ := templates.ByID(11)
+	src, _ := templates.Source(uc)
+	if _, _, err := g.GenerateInto(filepath.Join(t.TempDir(), "nope"), uc.File, src); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}
+
+func TestSanitizePackageName(t *testing.T) {
+	cases := map[string]string{
+		"crypto-utils": "cryptoutils",
+		"My.App":       "myapp",
+		"123abc":       "abc",
+		"---":          "generated",
+	}
+	for in, want := range cases {
+		if got := sanitizePackageName(in); got != want {
+			t.Errorf("sanitizePackageName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNestedChainRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package nested
+
+import (
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type N struct{}
+
+// Bad hides a chain inside a conditional.
+func (n *N) Bad(data []byte, cond bool) ([]byte, error) {
+	var digest []byte
+	if cond {
+		cryslgen.NewGenerator().
+			ConsiderRule("gca.MessageDigest").AddParameter(data, "input").AddReturnObject(digest).
+			Generate()
+	}
+	return digest, nil
+}
+`
+	_, err := g.GenerateFile("nested.go", src)
+	if err == nil || !strings.Contains(err.Error(), "top-level") {
+		t.Fatalf("nested chain not rejected: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package gen
+
+import (
+	"testing"
+
+	"cognicryptgen/rules"
+	"cognicryptgen/templates"
+)
+
+func TestProbeAllUseCases(t *testing.T) {
+	g, err := New(rules.MustLoad(), "", Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uc := range templates.UseCases {
+		src, err := templates.Source(uc)
+		if err != nil {
+			t.Fatalf("%s: %v", uc.Name, err)
+		}
+		res, err := g.GenerateFile(uc.File, src)
+		if err != nil {
+			t.Errorf("use case %d %s: %v", uc.ID, uc.Name, err)
+			continue
+		}
+		if len(res.Report.PushedUp) > 0 {
+			t.Errorf("use case %d %s: pushed-up %v", uc.ID, uc.Name, res.Report.PushedUp)
+		}
+		for _, m := range res.Report.Methods {
+			for _, r := range m.Rules {
+				t.Logf("uc%d %s.%s %s: %v", uc.ID, uc.Name, m.Name, r.Rule, r.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package gen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"cognicryptgen/crysl/constraint"
+	cryToken "cognicryptgen/crysl/token"
+)
+
+// fluentImportPath is the import path of the fluent template API; chains
+// are rooted at a call to its NewGenerator function.
+const fluentImportPath = "cognicryptgen/gen/fluent"
+
+// Template is a parsed, type-checked code template.
+type Template struct {
+	Name       string // file name for diagnostics
+	Src        string
+	File       *ast.File
+	Fset       *token.FileSet
+	Pkg        *types.Package
+	Info       *types.Info
+	StructName string
+	Methods    []*TemplateMethod // methods of the template struct, in order
+}
+
+// TemplateMethod is one method of the template struct, with any fluent
+// chains it contains and the facts the generator could learn about its
+// local variables.
+type TemplateMethod struct {
+	Decl   *ast.FuncDecl
+	Chains []*Chain
+	// Consts maps local variable (and parameter) names to constant values
+	// learned from simple initialisations like `mode := gca.DecryptMode`.
+	Consts map[string]constraint.Value
+	// Lens maps local []byte variable names to lengths learned from
+	// `salt := make([]byte, 32)` initialisations.
+	Lens map[string]int
+	// VarTypes maps identifier names usable as bindings to their Go types.
+	VarTypes map[string]types.Type
+}
+
+// Chain is one fluent call chain: the statement to replace plus the rule
+// invocations it describes.
+type Chain struct {
+	Stmt        ast.Stmt
+	Invocations []*Invocation
+}
+
+// Invocation is one ConsiderRule(...) plus its attached AddParameter and
+// AddReturnObject calls.
+type Invocation struct {
+	RuleName string
+	Pos      token.Pos
+	// Bindings maps rule variable names to template identifier names
+	// (paper: addParameter).
+	Bindings map[string]string
+	// ReturnObj names the template identifier receiving this rule's result
+	// (paper: addReturnObject); empty when absent.
+	ReturnObj string
+}
+
+// scanTemplate analyses a type-checked template file.
+func scanTemplate(name, src string, file *ast.File, fset *token.FileSet, pkg *types.Package, info *types.Info) (*Template, error) {
+	t := &Template{Name: name, Src: src, File: file, Fset: fset, Pkg: pkg, Info: info}
+
+	// The template struct is the first struct type declared in the file.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if _, ok := ts.Type.(*ast.StructType); ok && t.StructName == "" {
+				t.StructName = ts.Name.Name
+			}
+		}
+	}
+	if t.StructName == "" {
+		return nil, fmt.Errorf("gen: template %s declares no struct type", name)
+	}
+
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Body == nil {
+			continue
+		}
+		if recvTypeName(fd) != t.StructName {
+			continue
+		}
+		m := &TemplateMethod{
+			Decl:     fd,
+			Consts:   map[string]constraint.Value{},
+			Lens:     map[string]int{},
+			VarTypes: map[string]types.Type{},
+		}
+		collectMethodFacts(m, info)
+		chains, err := extractChains(fd, info)
+		if err != nil {
+			return nil, fmt.Errorf("gen: template %s, method %s: %w", name, fd.Name.Name, err)
+		}
+		m.Chains = chains
+		t.Methods = append(t.Methods, m)
+	}
+	if len(t.Methods) == 0 {
+		return nil, fmt.Errorf("gen: template %s has no methods on %s", name, t.StructName)
+	}
+	return t, nil
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// collectMethodFacts records parameter/local types, constant
+// initialisations, and make([]byte, N) lengths.
+func collectMethodFacts(m *TemplateMethod, info *types.Info) {
+	fd := m.Decl
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				m.VarTypes[name.Name] = obj.Type()
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					m.VarTypes[id.Name] = obj.Type()
+				} else if obj := info.Uses[id]; obj != nil {
+					m.VarTypes[id.Name] = obj.Type()
+				}
+				rhs := n.Rhs[i]
+				if tv, ok := info.Types[rhs]; ok && tv.Value != nil {
+					m.Consts[id.Name] = constValue(tv.Value)
+				}
+				if n, ok := makeByteLen(rhs, info); ok {
+					m.Lens[id.Name] = n
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						m.VarTypes[name.Name] = obj.Type()
+					}
+					if i < len(vs.Values) {
+						if tv, ok := info.Types[vs.Values[i]]; ok && tv.Value != nil {
+							m.Consts[name.Name] = constValue(tv.Value)
+						}
+						if n, ok := makeByteLen(vs.Values[i], info); ok {
+							m.Lens[name.Name] = n
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func constValue(v constant.Value) constraint.Value {
+	switch v.Kind() {
+	case constant.Int:
+		if i, ok := constant.Int64Val(v); ok {
+			return constraint.IntVal(i)
+		}
+	case constant.String:
+		return constraint.StrVal(constant.StringVal(v))
+	case constant.Bool:
+		return constraint.BoolVal(constant.BoolVal(v))
+	}
+	return constraint.Unknown
+}
+
+// makeByteLen recognises make([]byte, N) with constant N.
+func makeByteLen(e ast.Expr, info *types.Info) (int, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return 0, false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+		return 0, false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if n, ok := constant.Int64Val(tv.Value); ok {
+			return int(n), true
+		}
+	}
+	return 0, false
+}
+
+// extractChains finds fluent chains in a method body. A chain is any
+// statement whose expression is a method-call chain rooted at
+// fluent.NewGenerator() and ending in Generate(). Chains must be
+// top-level statements of the method body: a chain nested inside a
+// conditional or loop cannot be spliced soundly and is rejected rather
+// than silently left behind (where the fluent stub would panic at run
+// time).
+func extractChains(fd *ast.FuncDecl, info *types.Info) ([]*Chain, error) {
+	var chains []*Chain
+	var err error
+	recognised := map[ast.Node]bool{}
+	for _, stmt := range fd.Body.List {
+		call := chainCall(stmt)
+		if call == nil {
+			continue
+		}
+		invs, ok, cerr := parseChain(call, info)
+		if cerr != nil {
+			err = cerr
+			break
+		}
+		if !ok {
+			continue
+		}
+		recognised[call] = true
+		chains = append(chains, &Chain{Stmt: stmt, Invocations: invs})
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Any other NewGenerator use is a nested or malformed chain.
+	var nestedErr error
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if nestedErr != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recognisedRoot(call, recognised) {
+			return true
+		}
+		if isFluentRoot(call, info) && !withinRecognised(call, recognised, fd, info) {
+			nestedErr = fmt.Errorf("fluent chain must be a top-level statement of the method body (found nested NewGenerator call)")
+			return false
+		}
+		return true
+	})
+	if nestedErr != nil {
+		return nil, nestedErr
+	}
+	return chains, nil
+}
+
+// recognisedRoot reports whether call is one of the extracted chains.
+func recognisedRoot(call *ast.CallExpr, recognised map[ast.Node]bool) bool {
+	return recognised[call]
+}
+
+// withinRecognised reports whether the NewGenerator call is the root of a
+// recognised chain (i.e. it appears inside one of the extracted chain
+// expressions).
+func withinRecognised(root *ast.CallExpr, recognised map[ast.Node]bool, fd *ast.FuncDecl, info *types.Info) bool {
+	for node := range recognised {
+		found := false
+		ast.Inspect(node, func(n ast.Node) bool {
+			if n == ast.Node(root) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// chainCall extracts the call expression from a candidate chain statement,
+// accepting both bare `...Generate()` and `if err := ...Generate(); ...`
+// forms as well as `_ = ...Generate()`.
+func chainCall(stmt ast.Stmt) *ast.CallExpr {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			return c
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if c, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// parseChain walks the selector chain backwards. ok is false when the call
+// is not a fluent chain at all; err reports a malformed fluent chain.
+func parseChain(call *ast.CallExpr, info *types.Info) (invs []*Invocation, ok bool, err error) {
+	type step struct {
+		name string
+		args []ast.Expr
+		pos  token.Pos
+	}
+	var steps []step
+	cur := call
+	for {
+		if isFluentRoot(cur, info) {
+			break
+		}
+		sel, isSel := cur.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return nil, false, nil
+		}
+		steps = append(steps, step{name: sel.Sel.Name, args: cur.Args, pos: cur.Pos()})
+		inner, isCall := sel.X.(*ast.CallExpr)
+		if !isCall {
+			return nil, false, nil
+		}
+		cur = inner
+	}
+	// steps are outermost-first; reverse to chain order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	if len(steps) == 0 || steps[len(steps)-1].name != "Generate" {
+		return nil, false, nil
+	}
+
+	var current *Invocation
+	for _, st := range steps {
+		switch st.name {
+		case "ConsiderRule":
+			name, ok := stringArg(st.args, 0, info)
+			if !ok {
+				return nil, false, fmt.Errorf("ConsiderRule requires a constant string argument")
+			}
+			current = &Invocation{RuleName: name, Pos: st.pos, Bindings: map[string]string{}}
+			invs = append(invs, current)
+		case "AddParameter":
+			if current == nil {
+				return nil, false, fmt.Errorf("AddParameter before any ConsiderRule")
+			}
+			ident, ok := identArg(st.args, 0)
+			if !ok {
+				return nil, false, fmt.Errorf("AddParameter requires an identifier as first argument")
+			}
+			v, ok := stringArg(st.args, 1, info)
+			if !ok {
+				return nil, false, fmt.Errorf("AddParameter requires a constant string rule-variable name")
+			}
+			if prev, dup := current.Bindings[v]; dup {
+				return nil, false, fmt.Errorf("rule variable %q bound twice (%s and %s)", v, prev, ident)
+			}
+			current.Bindings[v] = ident
+		case "AddReturnObject":
+			if current == nil {
+				return nil, false, fmt.Errorf("AddReturnObject before any ConsiderRule")
+			}
+			ident, ok := identArg(st.args, 0)
+			if !ok {
+				return nil, false, fmt.Errorf("AddReturnObject requires an identifier argument")
+			}
+			if current.ReturnObj != "" {
+				return nil, false, fmt.Errorf("rule %s has two return objects", current.RuleName)
+			}
+			current.ReturnObj = ident
+		case "Generate":
+			// terminal
+		default:
+			return nil, false, fmt.Errorf("unknown fluent method %s", st.name)
+		}
+	}
+	if len(invs) == 0 {
+		return nil, false, fmt.Errorf("fluent chain considers no rules")
+	}
+	return invs, true, nil
+}
+
+func isFluentRoot(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewGenerator" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pkgName, ok := info.Uses[id].(*types.PkgName); ok {
+		return pkgName.Imported().Path() == fluentImportPath
+	}
+	return false
+}
+
+func stringArg(args []ast.Expr, i int, info *types.Info) (string, bool) {
+	if i >= len(args) {
+		return "", false
+	}
+	if tv, ok := info.Types[args[i]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if lit, ok := args[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		s, err := strconv.Unquote(lit.Value)
+		return s, err == nil
+	}
+	return "", false
+}
+
+func identArg(args []ast.Expr, i int) (string, bool) {
+	if i >= len(args) {
+		return "", false
+	}
+	if id, ok := args[i].(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// methodResultInfo describes a template method's result list for error
+// propagation inside generated code.
+type methodResultInfo struct {
+	zeros     []string // zero-value expressions for all results before err
+	hasErr    bool
+	resultLen int
+}
+
+func resultInfo(fd *ast.FuncDecl, info *types.Info) methodResultInfo {
+	var ri methodResultInfo
+	if fd.Type.Results == nil {
+		return ri
+	}
+	var resTypes []types.Type
+	for _, f := range fd.Type.Results.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		tv := info.Types[f.Type]
+		for i := 0; i < n; i++ {
+			resTypes = append(resTypes, tv.Type)
+		}
+	}
+	ri.resultLen = len(resTypes)
+	if len(resTypes) > 0 && isErrorType(resTypes[len(resTypes)-1]) {
+		ri.hasErr = true
+		for _, t := range resTypes[:len(resTypes)-1] {
+			ri.zeros = append(ri.zeros, zeroExpr(t))
+		}
+	}
+	return ri
+}
+
+// bindingConstEnv builds the constraint environment contribution of a
+// method's bindings: constant values, known lengths and dynamic types of
+// bound identifiers.
+func (m *TemplateMethod) bindingConstEnv(api *apiModel, inv *Invocation) *constraint.Env {
+	env := &constraint.Env{
+		Vars:     map[string]constraint.Value{},
+		Lengths:  map[string]int{},
+		Types:    map[string]string{},
+		Subtypes: api.supertypes,
+	}
+	for ruleVar, ident := range inv.Bindings {
+		if v, ok := m.Consts[ident]; ok && v.Known {
+			env.Vars[ruleVar] = v
+		}
+		if n, ok := m.Lens[ident]; ok {
+			env.Lengths[ruleVar] = n
+		}
+		if t, ok := m.VarTypes[ident]; ok {
+			if name := typeNameOf(t); name != "" {
+				env.Types[ruleVar] = api.qualified(name)
+			}
+		}
+	}
+	return env
+}
+
+// describeValue renders a constraint value as Go source.
+func describeValue(v constraint.Value) string {
+	switch v.Kind {
+	case cryToken.STRING:
+		return strconv.Quote(v.Str)
+	case cryToken.CHAR:
+		return "'" + v.Str + "'"
+	case cryToken.BOOL:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return strconv.FormatInt(v.Int, 10)
+	}
+}
+
+var _ = strings.TrimSpace // placeholder until strings is needed elsewhere

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	goast "go/ast"
+	"strings"
+	"testing"
+
+	"cognicryptgen/crysl/constraint"
+)
+
+// scan parses+checks+scans a template through the shared generator's
+// checker.
+func scan(t *testing.T, src string) *Template {
+	t.Helper()
+	g := sharedGenerator(t)
+	file, pkg, info, err := g.checker.CheckSource("scan.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := scanTemplate("scan.go", src, file, g.checker.Fset, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmpl
+}
+
+const scanSrc = `//go:build cryptgen_template
+
+package scan
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type Thing struct{}
+
+func (t *Thing) Work(pwd []rune) (*gca.SecretKeySpec, error) {
+	mode := gca.DecryptMode
+	name := "PBKDF2WithHmacSHA512"
+	salt := make([]byte, 32)
+	var out *gca.SecretKeySpec
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(salt, "out").
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").
+		ConsiderRule("gca.SecretKeyFactory").AddParameter(name, "keyDerivationAlg").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(out).
+		Generate()
+	_ = mode
+	return out, nil
+}
+
+func (t *Thing) helper() int { return 1 }
+`
+
+func TestScanFindsStructAndMethods(t *testing.T) {
+	tmpl := scan(t, scanSrc)
+	if tmpl.StructName != "Thing" {
+		t.Errorf("struct: %q", tmpl.StructName)
+	}
+	if len(tmpl.Methods) != 2 {
+		t.Fatalf("methods: %d", len(tmpl.Methods))
+	}
+	work := tmpl.Methods[0]
+	if len(work.Chains) != 1 {
+		t.Fatalf("chains: %d", len(work.Chains))
+	}
+	if len(tmpl.Methods[1].Chains) != 0 {
+		t.Error("helper should have no chains")
+	}
+}
+
+func TestScanCollectsInvocations(t *testing.T) {
+	tmpl := scan(t, scanSrc)
+	invs := tmpl.Methods[0].Chains[0].Invocations
+	if len(invs) != 5 {
+		t.Fatalf("invocations: %d", len(invs))
+	}
+	if invs[0].RuleName != "gca.SecureRandom" || invs[0].Bindings["out"] != "salt" {
+		t.Errorf("inv 0: %+v", invs[0])
+	}
+	if invs[2].Bindings["keyDerivationAlg"] != "name" {
+		t.Errorf("inv 2: %+v", invs[2])
+	}
+	if invs[4].ReturnObj != "out" {
+		t.Errorf("inv 4: %+v", invs[4])
+	}
+}
+
+func TestScanCollectsMethodFacts(t *testing.T) {
+	tmpl := scan(t, scanSrc)
+	m := tmpl.Methods[0]
+	if v, ok := m.Consts["mode"]; !ok || v.Int != 2 {
+		t.Errorf("mode constant: %v", m.Consts["mode"])
+	}
+	if v, ok := m.Consts["name"]; !ok || v.Str != "PBKDF2WithHmacSHA512" {
+		t.Errorf("name constant: %v", m.Consts["name"])
+	}
+	if n, ok := m.Lens["salt"]; !ok || n != 32 {
+		t.Errorf("salt length: %v", m.Lens["salt"])
+	}
+	for _, v := range []string{"pwd", "salt", "out", "mode"} {
+		if _, ok := m.VarTypes[v]; !ok {
+			t.Errorf("VarTypes missing %q", v)
+		}
+	}
+}
+
+func TestConstBindingFlowsIntoConstraintEnv(t *testing.T) {
+	g := sharedGenerator(t)
+	tmpl := scan(t, scanSrc)
+	m := tmpl.Methods[0]
+	inv := m.Chains[0].Invocations[2] // SecretKeyFactory with bound name
+	env := m.bindingConstEnv(g.api, inv)
+	if v := env.Vars["keyDerivationAlg"]; !v.Known || v.Str != "PBKDF2WithHmacSHA512" {
+		t.Errorf("bound constant not in env: %v", v)
+	}
+}
+
+func TestBoundConstantOverridesDerivation(t *testing.T) {
+	g := sharedGenerator(t)
+	res, err := g.GenerateFile("scan.go", scanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "gca.NewSecretKeyFactory(name)") {
+		t.Errorf("template binding should win over derivation:\n%s", res.Output)
+	}
+	if strings.Contains(res.Output, `"PBKDF2WithHmacSHA256"`) {
+		t.Error("derivation overrode the template binding")
+	}
+}
+
+func TestTemplateWithoutStructRejected(t *testing.T) {
+	g := sharedGenerator(t)
+	src := `//go:build cryptgen_template
+
+package nostru
+
+func Lone() error { return nil }
+`
+	if _, err := g.GenerateFile("x.go", src); err == nil || !strings.Contains(err.Error(), "struct") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestChainInAssignForm(t *testing.T) {
+	// `_ = chain.Generate()` must also be recognised.
+	src := strings.Replace(scanSrc, "\t\tGenerate()", "\t\tGenerate()", 1)
+	src = strings.Replace(src, "cryslgen.NewGenerator().", "_ = cryslgen.NewGenerator().", 1)
+	tmpl := scan(t, src)
+	if len(tmpl.Methods[0].Chains) != 1 {
+		t.Fatal("assignment-form chain not detected")
+	}
+}
+
+func TestDescribeValue(t *testing.T) {
+	cases := map[string]constraint.Value{
+		"42":    constraint.IntVal(42),
+		`"AES"`: constraint.StrVal("AES"),
+		"true":  constraint.BoolVal(true),
+	}
+	for want, v := range cases {
+		if got := describeValue(v); got != want {
+			t.Errorf("describeValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestZeroExprForMethodResults(t *testing.T) {
+	g := sharedGenerator(t)
+	file, _, info, err := g.checker.CheckSource("z.go", `package z
+
+import "cognicryptgen/gca"
+
+type S struct{}
+
+func (S) F() (int, string, bool, []byte, *gca.Cipher, gca.Key, gca.SecureRandom, error) {
+	return 0, "", false, nil, nil, nil, gca.SecureRandom{}, nil
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ri methodResultInfo
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*goast.FuncDecl); ok && fd.Name.Name == "F" {
+			ri = resultInfo(fd, info)
+		}
+	}
+	if !ri.hasErr || ri.resultLen != 8 {
+		t.Fatalf("resultInfo: %+v", ri)
+	}
+	want := []string{"0", `""`, "false", "nil", "nil", "nil", "gca.SecureRandom{}"}
+	if len(ri.zeros) != len(want) {
+		t.Fatalf("zeros: %v", ri.zeros)
+	}
+	for i := range want {
+		if ri.zeros[i] != want[i] {
+			t.Errorf("zero %d: got %q, want %q", i, ri.zeros[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// usageOf generates a template and extracts the TemplateUsage function
+// text.
+func usageOf(t *testing.T, src string) string {
+	t.Helper()
+	g := sharedGenerator(t)
+	res, err := g.GenerateFile("u.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(res.Output, "func TemplateUsage")
+	if i < 0 {
+		t.Fatalf("no TemplateUsage in output:\n%s", res.Output)
+	}
+	return res.Output[i:]
+}
+
+func TestUsageThreadsResultsByType(t *testing.T) {
+	usage := usageOf(t, `//go:build cryptgen_template
+
+package u
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+type Flow struct{}
+
+// MakeKey produces a key.
+func (f *Flow) MakeKey() (*gca.SecretKey, error) {
+	var key *gca.SecretKey
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyGenerator").AddReturnObject(key).
+		Generate()
+	return key, nil
+}
+
+// UseKey consumes the key.
+func (f *Flow) UseKey(data []byte, key *gca.SecretKey) ([]byte, error) {
+	iv := make([]byte, 12)
+	var ct []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ct).
+		Generate()
+	return ct, nil
+}
+`)
+	// MakeKey's result must flow into UseKey's key parameter.
+	if !strings.Contains(usage, "t.MakeKey()") {
+		t.Errorf("MakeKey not called:\n%s", usage)
+	}
+	if !strings.Contains(usage, "t.UseKey(data, secretKey)") {
+		t.Errorf("key result not threaded into UseKey:\n%s", usage)
+	}
+	// Unmatched data parameter becomes a TemplateUsage parameter.
+	if !strings.Contains(usage, "data []byte") {
+		t.Errorf("unmatched parameter not pushed up:\n%s", usage)
+	}
+}
+
+func TestUsageSuppressesUnusedResults(t *testing.T) {
+	usage := usageOf(t, miniTemplate)
+	if !strings.Contains(usage, "_ = ") {
+		t.Errorf("unconsumed result not suppressed:\n%s", usage)
+	}
+	if !strings.Contains(usage, "return nil") {
+		t.Errorf("usage must return nil at the end:\n%s", usage)
+	}
+}
+
+func TestUsageSkipsHelpers(t *testing.T) {
+	src := strings.Replace(miniTemplate, "return digest, nil\n}",
+		"return digest, nil\n}\n\nfunc (h *Hasher) helper() int { return 1 }", 1)
+	usage := usageOf(t, src)
+	if strings.Contains(usage, "helper") {
+		t.Errorf("helper method must not appear in usage:\n%s", usage)
+	}
+}
+
+func TestUsagePropagatesErrors(t *testing.T) {
+	usage := usageOf(t, miniTemplate)
+	if !strings.Contains(usage, "if err != nil {") || !strings.Contains(usage, "return err") {
+		t.Errorf("error propagation missing:\n%s", usage)
+	}
+}

@@ -1,0 +1,3 @@
+module cognicryptgen
+
+go 1.24

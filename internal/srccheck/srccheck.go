@@ -1,0 +1,308 @@
+// Package srccheck type-checks Go source against this module's packages
+// without invoking the go tool.
+//
+// The CGO 2020 paper guarantees that generated code "is free of syntax
+// errors and type-checks". For the Java original, the Eclipse JDT provided
+// that check; here go/parser and go/types do. Because generated code
+// imports module-local packages (cognicryptgen/gca, cognicryptgen/gen/...)
+// that the standard source importer cannot resolve in module mode, this
+// package implements a small module-aware importer: module-local import
+// paths are parsed and type-checked from the source tree, everything else
+// is delegated to the GOROOT source importer.
+package srccheck
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ModulePath is this module's path as declared in go.mod.
+const ModulePath = "cognicryptgen"
+
+// ModuleRoot locates the module root by walking up from dir (or the
+// working directory when dir is empty) until a go.mod declaring ModulePath
+// is found.
+func ModuleRoot(dir string) (string, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		dir = wd
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && strings.Contains(string(data), "module "+ModulePath) {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("srccheck: module root for %q not found", ModulePath)
+		}
+		dir = parent
+	}
+}
+
+// Importer resolves import paths for go/types. It is safe for sequential
+// reuse; a single Importer caches type-checked packages.
+type Importer struct {
+	fset *token.FileSet
+	root string // module root directory
+
+	mu     sync.Mutex
+	std    types.Importer
+	pkgs   map[string]*types.Package
+	inprog map[string]bool
+}
+
+// NewImporter returns an importer rooted at the module directory root,
+// recording positions in fset.
+func NewImporter(fset *token.FileSet, root string) *Importer {
+	return &Importer{
+		fset:   fset,
+		root:   root,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*types.Package{},
+		inprog: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (imp *Importer) Import(path string) (*types.Package, error) {
+	imp.mu.Lock()
+	defer imp.mu.Unlock()
+	return imp.importLocked(path)
+}
+
+func (imp *Importer) importLocked(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if !strings.HasPrefix(path, ModulePath) {
+		pkg, err := imp.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("srccheck: importing %q: %w", path, err)
+		}
+		imp.pkgs[path] = pkg
+		return pkg, nil
+	}
+	if imp.inprog[path] {
+		return nil, fmt.Errorf("srccheck: import cycle through %q", path)
+	}
+	imp.inprog[path] = true
+	defer delete(imp.inprog, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ModulePath), "/")
+	dir := filepath.Join(imp.root, filepath.FromSlash(rel))
+	pkg, err := imp.checkDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	imp.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// checkDir parses and type-checks the package in dir.
+func (imp *Importer) checkDir(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("srccheck: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("srccheck: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("srccheck: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: importerFunc(imp.importLocked)}
+	pkg, err := conf.Check(path, imp.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("srccheck: type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Checker type-checks in-memory Go sources against the module.
+type Checker struct {
+	Fset *token.FileSet
+	imp  *Importer
+}
+
+// NewChecker returns a checker rooted at the module containing dir ("" =
+// working directory).
+func NewChecker(dir string) (*Checker, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Checker{Fset: fset, imp: NewImporter(fset, root)}, nil
+}
+
+// ImportPackage loads and type-checks a package by import path.
+func (c *Checker) ImportPackage(path string) (*types.Package, error) {
+	return c.imp.Import(path)
+}
+
+// CheckDir parses and type-checks all non-test Go files of the package in
+// dir, returning the files and the shared type info.
+func (c *Checker) CheckDir(dir string) ([]*ast.File, *types.Package, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("srccheck: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(c.Fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("srccheck: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("srccheck: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: c.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(files[0].Name.Name, c.Fset, files, info)
+	if len(errs) > 0 {
+		return files, pkg, info, fmt.Errorf("srccheck: type errors: %w", errors.Join(errs...))
+	}
+	if err != nil {
+		return files, pkg, info, fmt.Errorf("srccheck: type errors: %w", err)
+	}
+	return files, pkg, info, nil
+}
+
+// CheckPackageWith type-checks the Go package in dir together with one
+// additional in-memory file (filename/src), as if the file had been saved
+// into the directory. Test files are ignored. An empty or non-existent
+// directory degrades to checking the new file alone.
+func (c *Checker) CheckPackageWith(dir, filename, src string) error {
+	extra, err := parser.ParseFile(c.Fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return fmt.Errorf("srccheck: parse %s: %w", filename, err)
+	}
+	files := []*ast.File{extra}
+	entries, err := os.ReadDir(dir)
+	if err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(c.Fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("srccheck: parsing existing %s: %w", name, err)
+			}
+			if f.Name.Name != extra.Name.Name {
+				return fmt.Errorf("srccheck: package mismatch: %s declares %q, new file declares %q", name, f.Name.Name, extra.Name.Name)
+			}
+			files = append(files, f)
+		}
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: c.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	if _, err := conf.Check(extra.Name.Name, c.Fset, files, nil); err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("srccheck: type errors: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// PackageNameOf reports the package name declared by the Go files in dir,
+// or "" when the directory has none.
+func PackageNameOf(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly)
+		if err != nil {
+			continue
+		}
+		return f.Name.Name
+	}
+	return ""
+}
+
+// CheckSource parses and type-checks a single in-memory Go file named
+// filename containing src. It returns the parsed file, its package, and
+// the type info.
+func (c *Checker) CheckSource(filename, src string) (*ast.File, *types.Package, *types.Info, error) {
+	f, err := parser.ParseFile(c.Fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("srccheck: parse: %w", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: c.imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(f.Name.Name, c.Fset, []*ast.File{f}, info)
+	if len(errs) > 0 {
+		return f, pkg, info, fmt.Errorf("srccheck: type errors: %w", errors.Join(errs...))
+	}
+	if err != nil {
+		return f, pkg, info, fmt.Errorf("srccheck: type errors: %w", err)
+	}
+	return f, pkg, info, nil
+}

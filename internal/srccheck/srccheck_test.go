@@ -1,0 +1,115 @@
+package srccheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModuleRootFromSubdir(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(wd, root) {
+		t.Errorf("root %q not a prefix of wd %q", root, wd)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("no go.mod at reported root: %v", err)
+	}
+}
+
+func TestModuleRootNotFound(t *testing.T) {
+	if _, err := ModuleRoot(t.TempDir()); err == nil {
+		t.Fatal("expected failure outside the module")
+	}
+}
+
+func TestImportModulePackage(t *testing.T) {
+	c, err := NewChecker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := c.ImportPackage(ModulePath + "/gca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name() != "gca" {
+		t.Errorf("package name %q", pkg.Name())
+	}
+	if pkg.Scope().Lookup("Cipher") == nil {
+		t.Error("Cipher not exported")
+	}
+	// Cached: second import returns the same object.
+	pkg2, err := c.ImportPackage(ModulePath + "/gca")
+	if err != nil || pkg2 != pkg {
+		t.Error("import not cached")
+	}
+}
+
+func TestImportStdlib(t *testing.T) {
+	c, err := NewChecker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := c.ImportPackage("crypto/sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Scope().Lookup("New") == nil {
+		t.Error("sha256.New missing")
+	}
+}
+
+func TestCheckSourceAcceptsValid(t *testing.T) {
+	c, _ := NewChecker("")
+	_, pkg, info, err := c.CheckSource("ok.go", `package x
+
+import "cognicryptgen/gca"
+
+func f() error {
+	r, err := gca.NewSecureRandom()
+	if err != nil {
+		return err
+	}
+	return r.NextBytes(make([]byte, 8))
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil || info == nil {
+		t.Fatal("missing results")
+	}
+}
+
+func TestCheckSourceRejectsTypeErrors(t *testing.T) {
+	c, _ := NewChecker("")
+	_, _, _, err := c.CheckSource("bad.go", `package x
+
+func f() int { return "not an int" }
+`)
+	if err == nil || !strings.Contains(err.Error(), "type errors") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckSourceRejectsSyntaxErrors(t *testing.T) {
+	c, _ := NewChecker("")
+	_, _, _, err := c.CheckSource("bad.go", "package x\nfunc {")
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestImportUnknownModulePackage(t *testing.T) {
+	c, _ := NewChecker("")
+	if _, err := c.ImportPackage(ModulePath + "/doesnotexist"); err == nil {
+		t.Fatal("unknown module package imported")
+	}
+}

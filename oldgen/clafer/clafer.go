@@ -1,0 +1,215 @@
+// Package clafer implements a small variability-modelling language in the
+// spirit of Clafer (Juodisius et al., Programming Journal 2019), as used by
+// CogniCrypt's original code generator CogniCrypt_old-gen (paper §4, §6.2):
+// an algorithm model declares features with attribute domains and
+// constraints, a task names the features a use case needs, and a
+// backtracking solver picks a concrete configuration that an XSL template
+// then consumes as its variability input.
+//
+// Grammar (line-oriented, braces delimit blocks, // comments):
+//
+//	abstract Algorithm {
+//	    string name;
+//	}
+//	concrete PBKDF2 extends Algorithm {
+//	    name = "PBKDF2WithHmacSHA256";
+//	    int iterations in {10000, 20000, 50000};
+//	    int outputSize in {128, 192, 256};
+//	    constraint iterations >= 10000;
+//	}
+//	task PBEFiles {
+//	    uses kda = PBKDF2;
+//	    uses cipher = AESGCM;
+//	    constraint kda.outputSize == cipher.keySize;
+//	}
+package clafer
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is an attribute value: an int or a string.
+type Value struct {
+	IsInt bool
+	Int   int64
+	Str   string
+}
+
+// IntV makes an integer value.
+func IntV(i int64) Value { return Value{IsInt: true, Int: i} }
+
+// StrV makes a string value.
+func StrV(s string) Value { return Value{Str: s} }
+
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return strconv.Quote(v.Str)
+}
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool {
+	return v.IsInt == o.IsInt && v.Int == o.Int && v.Str == o.Str
+}
+
+// Attribute declares a feature attribute: fixed (Domain of length 1) or a
+// choice point (Domain of length > 1, ordered by preference).
+type Attribute struct {
+	Name   string
+	IsInt  bool
+	Domain []Value
+}
+
+// Feature is an abstract or concrete feature with attributes and local
+// constraints. Attribute sets are inherited from the parent.
+type Feature struct {
+	Name        string
+	Abstract    bool
+	Parent      string // "" for roots
+	Attributes  []*Attribute
+	Constraints []Expr
+}
+
+// Use binds an instance name to a concrete feature inside a task.
+type Use struct {
+	Instance string
+	Feature  string
+}
+
+// Task is a solvable configuration problem: a set of feature instances
+// plus cross-instance constraints.
+type Task struct {
+	Name        string
+	Uses        []Use
+	Constraints []Expr
+}
+
+// Model is a parsed Clafer-subset model.
+type Model struct {
+	Features map[string]*Feature
+	Tasks    map[string]*Task
+	order    []string // feature declaration order
+}
+
+// Feature returns a feature by name.
+func (m *Model) Feature(name string) (*Feature, bool) {
+	f, ok := m.Features[name]
+	return f, ok
+}
+
+// FeatureNames returns declared feature names in order.
+func (m *Model) FeatureNames() []string { return append([]string(nil), m.order...) }
+
+// allAttributes returns the feature's attributes including inherited ones
+// (parents first). Later declarations shadow earlier ones by name.
+func (m *Model) allAttributes(f *Feature) []*Attribute {
+	var chain []*Feature
+	for cur := f; cur != nil; {
+		chain = append([]*Feature{cur}, chain...)
+		if cur.Parent == "" {
+			break
+		}
+		cur = m.Features[cur.Parent]
+	}
+	byName := map[string]int{}
+	var out []*Attribute
+	for _, feat := range chain {
+		for _, a := range feat.Attributes {
+			if i, ok := byName[a.Name]; ok {
+				out[i] = a
+				continue
+			}
+			byName[a.Name] = len(out)
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// allConstraints returns the feature's constraints including inherited
+// ones.
+func (m *Model) allConstraints(f *Feature) []Expr {
+	var out []Expr
+	for cur := f; cur != nil; {
+		out = append(out, cur.Constraints...)
+		if cur.Parent == "" {
+			break
+		}
+		cur = m.Features[cur.Parent]
+	}
+	return out
+}
+
+// Expr is a constraint expression over attribute references and literals.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Ref references an attribute: "iterations" (feature-local) or
+// "kda.outputSize" (task scope).
+type Ref struct {
+	Instance string // "" in feature scope
+	Attr     string
+}
+
+// Lit is a literal value.
+type Lit struct{ Val Value }
+
+// Cmp compares two operands: ==, !=, <, <=, >, >=.
+type Cmp struct {
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// Logic combines constraints: &&, ||, =>.
+type Logic struct {
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+func (*Ref) isExpr()   {}
+func (*Lit) isExpr()   {}
+func (*Cmp) isExpr()   {}
+func (*Logic) isExpr() {}
+
+func (r *Ref) String() string {
+	if r.Instance == "" {
+		return r.Attr
+	}
+	return r.Instance + "." + r.Attr
+}
+func (l *Lit) String() string   { return l.Val.String() }
+func (c *Cmp) String() string   { return fmt.Sprintf("%s %s %s", c.LHS, c.Op, c.RHS) }
+func (l *Logic) String() string { return fmt.Sprintf("(%s) %s (%s)", l.LHS, l.Op, l.RHS) }
+
+// Config is a solved configuration: "instance.attr" -> value.
+type Config map[string]Value
+
+// Keys returns the sorted configuration keys.
+func (c Config) Keys() []string {
+	out := make([]string, 0, len(c))
+	for k := range c {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the configuration deterministically.
+func (c Config) String() string {
+	var sb strings.Builder
+	for i, k := range c.Keys() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, c[k])
+	}
+	return sb.String()
+}

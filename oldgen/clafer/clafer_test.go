@@ -1,0 +1,183 @@
+package clafer
+
+import (
+	"strings"
+	"testing"
+)
+
+const model = `
+// test model
+abstract Algorithm {
+    string provider = "GCA";
+}
+concrete KDF extends Algorithm {
+    string name in {"A256", "A512"};
+    int iterations in {10000, 20000};
+    int outputSize in {128, 256};
+    constraint iterations >= 10000;
+}
+concrete Cipher extends Algorithm {
+    string mode in {"GCM", "CTR", "CBC"};
+    int keySize in {128, 256};
+    int ivLength in {12, 16};
+    constraint mode == "GCM" => ivLength == 12;
+    constraint mode != "GCM" => ivLength == 16;
+}
+task Encrypt {
+    uses kdf = KDF;
+    uses cipher = Cipher;
+    constraint kdf.outputSize == cipher.keySize;
+}
+`
+
+func mustModel(t *testing.T, src string) *Model {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseModel(t *testing.T) {
+	m := mustModel(t, model)
+	if len(m.Features) != 3 || len(m.Tasks) != 1 {
+		t.Fatalf("features=%d tasks=%d", len(m.Features), len(m.Tasks))
+	}
+	kdf, ok := m.Feature("KDF")
+	if !ok || kdf.Abstract || kdf.Parent != "Algorithm" {
+		t.Errorf("KDF: %+v", kdf)
+	}
+	attrs := m.allAttributes(kdf)
+	if len(attrs) != 4 { // provider inherited + 3 own
+		t.Errorf("attributes incl. inherited: %d", len(attrs))
+	}
+}
+
+func TestSolvePrefersDomainOrder(t *testing.T) {
+	m := mustModel(t, model)
+	cfg, err := m.Solve("Encrypt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["kdf.name"].Str != "A256" {
+		t.Errorf("first-in-domain preference: %v", cfg["kdf.name"])
+	}
+	if cfg["cipher.mode"].Str != "GCM" || cfg["cipher.ivLength"].Int != 12 {
+		t.Errorf("implication not honoured: %v / %v", cfg["cipher.mode"], cfg["cipher.ivLength"])
+	}
+	if cfg["kdf.outputSize"].Int != cfg["cipher.keySize"].Int {
+		t.Error("cross-instance constraint violated")
+	}
+}
+
+func TestSolveOverrides(t *testing.T) {
+	m := mustModel(t, model)
+	cfg, err := m.Solve("Encrypt", Config{"cipher.mode": StrV("CTR")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["cipher.mode"].Str != "CTR" || cfg["cipher.ivLength"].Int != 16 {
+		t.Errorf("override + implication: %v / %v", cfg["cipher.mode"], cfg["cipher.ivLength"])
+	}
+	if _, err := m.Solve("Encrypt", Config{"cipher.mode": StrV("ECB")}); err == nil {
+		t.Fatal("out-of-domain override accepted")
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	src := model + `
+task Impossible {
+    uses kdf = KDF;
+    constraint kdf.iterations >= 50000;
+}
+`
+	m := mustModel(t, src)
+	if _, err := m.Solve("Impossible", nil); err == nil || !strings.Contains(err.Error(), "unsatisfiable") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSolveUnknownTask(t *testing.T) {
+	m := mustModel(t, model)
+	if _, err := m.Solve("Nope", nil); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown parent", "concrete X extends Ghost {\n}\n", "unknown feature"},
+		{"extends concrete", "concrete A {\n}\nconcrete B extends A {\n}\n", "concrete feature"},
+		{"abstract use", "abstract A {\n}\ntask T {\n uses a = A;\n}\n", "abstract feature"},
+		{"unknown use", "task T {\n uses a = Ghost;\n}\n", "unknown feature"},
+		{"duplicate instance", "concrete A {\n int x = 1;\n}\ntask T {\n uses a = A;\n uses a = A;\n}\n", "twice"},
+		{"duplicate feature", "concrete A {\n}\nconcrete A {\n}\n", "redeclared"},
+		{"unclosed", "concrete A {\n int x = 1;\n", "not closed"},
+		{"garbage", "what is this\n", "expected feature or task"},
+		{"mixed domain", "concrete A {\n int x in {1, \"two\"};\n}\n", "mixes"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want fragment %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestExprParsing(t *testing.T) {
+	src := `concrete A {
+    int x in {1, 2};
+    int y in {1, 2};
+    constraint (x == 1 || y == 2) && x <= y;
+}
+task T {
+    uses a = A;
+}
+`
+	m := mustModel(t, src)
+	cfg, err := m.Solve("T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := cfg["a.x"].Int, cfg["a.y"].Int
+	if !((x == 1 || y == 2) && x <= y) {
+		t.Errorf("solution violates constraint: x=%d y=%d", x, y)
+	}
+}
+
+func TestConfigRendering(t *testing.T) {
+	cfg := Config{"b.k": IntV(2), "a.s": StrV("v")}
+	if got := cfg.String(); got != `a.s="v", b.k=2` {
+		t.Errorf("rendering: %q", got)
+	}
+	keys := cfg.Keys()
+	if len(keys) != 2 || keys[0] != "a.s" {
+		t.Errorf("keys: %v", keys)
+	}
+}
+
+func TestAttributeShadowing(t *testing.T) {
+	src := `abstract Base {
+    string name = "base";
+}
+concrete Child extends Base {
+    name = "child";
+}
+task T {
+    uses c = Child;
+}
+`
+	m := mustModel(t, src)
+	cfg, err := m.Solve("T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["c.name"].Str != "child" {
+		t.Errorf("shadowing: %v", cfg["c.name"])
+	}
+}

@@ -1,0 +1,26 @@
+package clafer
+
+import "testing"
+
+// FuzzParse asserts the Clafer-subset parser never panics on arbitrary
+// input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"abstract A {\n}\n",
+		"concrete B extends A {\n int x in {1, 2};\n}\n",
+		"task T {\n uses b = B;\n constraint b.x >= 1;\n}\n",
+		"concrete C {\n string s = \"v\";\n constraint (s == \"v\") || (s != \"v\");\n}\n",
+		"task {",
+		"concrete X {\n int y in {};\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if m == nil && err == nil {
+			t.Fatal("Parse returned neither model nor error")
+		}
+	})
+}

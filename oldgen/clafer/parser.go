@@ -1,0 +1,405 @@
+package clafer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a syntax error in a Clafer-subset model.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("clafer: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a Clafer-subset model from source text.
+func Parse(src string) (*Model, error) {
+	p := &mparser{model: &Model{Features: map[string]*Feature{}, Tasks: map[string]*Task{}}}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "abstract ") || strings.HasPrefix(line, "concrete "):
+			i, err = p.parseFeature(lines, i)
+		case strings.HasPrefix(line, "task "):
+			i, err = p.parseTask(lines, i)
+		default:
+			err = &ParseError{Line: i + 1, Msg: fmt.Sprintf("expected feature or task declaration, got %q", line)}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	return p.model, nil
+}
+
+type mparser struct {
+	model *Model
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// header parses "abstract Name {", "concrete Name extends Parent {",
+// "task Name {".
+func parseHeader(line string) (kind, name, parent string, err error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), "{")
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", "", "", fmt.Errorf("malformed header %q", line)
+	}
+	kind, name = fields[0], fields[1]
+	if len(fields) >= 4 && fields[2] == "extends" {
+		parent = fields[3]
+	} else if len(fields) != 2 {
+		return "", "", "", fmt.Errorf("malformed header %q", line)
+	}
+	return kind, name, parent, nil
+}
+
+func (p *mparser) parseFeature(lines []string, start int) (int, error) {
+	head := stripComment(lines[start])
+	if !strings.HasSuffix(head, "{") {
+		return start, &ParseError{Line: start + 1, Msg: "feature header must end with '{'"}
+	}
+	kind, name, parent, err := parseHeader(head)
+	if err != nil {
+		return start, &ParseError{Line: start + 1, Msg: err.Error()}
+	}
+	if _, dup := p.model.Features[name]; dup {
+		return start, &ParseError{Line: start + 1, Msg: fmt.Sprintf("feature %q redeclared", name)}
+	}
+	f := &Feature{Name: name, Abstract: kind == "abstract", Parent: parent}
+	i := start + 1
+	for ; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		switch {
+		case line == "":
+			continue
+		case line == "}":
+			p.model.Features[name] = f
+			p.model.order = append(p.model.order, name)
+			return i, nil
+		case strings.HasPrefix(line, "constraint "):
+			e, err := parseExpr(strings.TrimSuffix(strings.TrimPrefix(line, "constraint "), ";"))
+			if err != nil {
+				return i, &ParseError{Line: i + 1, Msg: err.Error()}
+			}
+			f.Constraints = append(f.Constraints, e)
+		default:
+			attr, err := parseAttribute(line)
+			if err != nil {
+				return i, &ParseError{Line: i + 1, Msg: err.Error()}
+			}
+			f.Attributes = append(f.Attributes, attr)
+		}
+	}
+	return i, &ParseError{Line: start + 1, Msg: fmt.Sprintf("feature %q not closed", name)}
+}
+
+// parseAttribute handles:
+//
+//	string name = "PBKDF2";
+//	int iterations in {10000, 20000};
+//	int keySize = 128;
+//	name = "override";            // redeclaration in a subfeature
+func parseAttribute(line string) (*Attribute, error) {
+	line = strings.TrimSuffix(line, ";")
+	fields := strings.SplitN(line, " ", 2)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("malformed attribute %q", line)
+	}
+	attr := &Attribute{}
+	rest := fields[1]
+	switch fields[0] {
+	case "int":
+		attr.IsInt = true
+	case "string":
+	default:
+		// Redeclaration without a type: "name = ..." — type inferred from
+		// the value.
+		rest = line
+	}
+	var spec string
+	switch {
+	case strings.Contains(rest, " in "):
+		parts := strings.SplitN(rest, " in ", 2)
+		attr.Name = strings.TrimSpace(parts[0])
+		spec = strings.TrimSpace(parts[1])
+		if !strings.HasPrefix(spec, "{") || !strings.HasSuffix(spec, "}") {
+			return nil, fmt.Errorf("attribute domain must be {…}: %q", line)
+		}
+		for _, item := range strings.Split(spec[1:len(spec)-1], ",") {
+			v, err := parseValue(strings.TrimSpace(item))
+			if err != nil {
+				return nil, err
+			}
+			attr.Domain = append(attr.Domain, v)
+		}
+	case strings.Contains(rest, "="):
+		parts := strings.SplitN(rest, "=", 2)
+		attr.Name = strings.TrimSpace(parts[0])
+		v, err := parseValue(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		attr.Domain = []Value{v}
+	default:
+		return nil, fmt.Errorf("attribute needs '=' or 'in': %q", line)
+	}
+	if len(attr.Domain) == 0 {
+		return nil, fmt.Errorf("attribute %q has an empty domain", attr.Name)
+	}
+	attr.IsInt = attr.Domain[0].IsInt
+	for _, v := range attr.Domain {
+		if v.IsInt != attr.IsInt {
+			return nil, fmt.Errorf("attribute %q mixes int and string values", attr.Name)
+		}
+	}
+	return attr, nil
+}
+
+func parseValue(s string) (Value, error) {
+	if strings.HasPrefix(s, `"`) {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad string literal %s", s)
+		}
+		return StrV(unq), nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("bad literal %q", s)
+	}
+	return IntV(i), nil
+}
+
+func (p *mparser) parseTask(lines []string, start int) (int, error) {
+	head := stripComment(lines[start])
+	_, name, _, err := parseHeader(head)
+	if err != nil {
+		return start, &ParseError{Line: start + 1, Msg: err.Error()}
+	}
+	if _, dup := p.model.Tasks[name]; dup {
+		return start, &ParseError{Line: start + 1, Msg: fmt.Sprintf("task %q redeclared", name)}
+	}
+	task := &Task{Name: name}
+	i := start + 1
+	for ; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		switch {
+		case line == "":
+			continue
+		case line == "}":
+			p.model.Tasks[name] = task
+			return i, nil
+		case strings.HasPrefix(line, "uses "):
+			rest := strings.TrimSuffix(strings.TrimPrefix(line, "uses "), ";")
+			parts := strings.SplitN(rest, "=", 2)
+			if len(parts) != 2 {
+				return i, &ParseError{Line: i + 1, Msg: fmt.Sprintf("malformed uses clause %q", line)}
+			}
+			task.Uses = append(task.Uses, Use{
+				Instance: strings.TrimSpace(parts[0]),
+				Feature:  strings.TrimSpace(parts[1]),
+			})
+		case strings.HasPrefix(line, "constraint "):
+			e, err := parseExpr(strings.TrimSuffix(strings.TrimPrefix(line, "constraint "), ";"))
+			if err != nil {
+				return i, &ParseError{Line: i + 1, Msg: err.Error()}
+			}
+			task.Constraints = append(task.Constraints, e)
+		default:
+			return i, &ParseError{Line: i + 1, Msg: fmt.Sprintf("unexpected task line %q", line)}
+		}
+	}
+	return i, &ParseError{Line: start + 1, Msg: fmt.Sprintf("task %q not closed", name)}
+}
+
+// resolve validates parents, uses targets, and constraint references.
+func (p *mparser) resolve() error {
+	for _, f := range p.model.Features {
+		if f.Parent != "" {
+			parent, ok := p.model.Features[f.Parent]
+			if !ok {
+				return fmt.Errorf("clafer: feature %q extends unknown feature %q", f.Name, f.Parent)
+			}
+			if !parent.Abstract {
+				return fmt.Errorf("clafer: feature %q extends concrete feature %q", f.Name, f.Parent)
+			}
+		}
+	}
+	for _, t := range p.model.Tasks {
+		seen := map[string]bool{}
+		for _, u := range t.Uses {
+			if seen[u.Instance] {
+				return fmt.Errorf("clafer: task %q binds instance %q twice", t.Name, u.Instance)
+			}
+			seen[u.Instance] = true
+			f, ok := p.model.Features[u.Feature]
+			if !ok {
+				return fmt.Errorf("clafer: task %q uses unknown feature %q", t.Name, u.Feature)
+			}
+			if f.Abstract {
+				return fmt.Errorf("clafer: task %q uses abstract feature %q", t.Name, u.Feature)
+			}
+		}
+	}
+	return nil
+}
+
+// parseExpr parses constraint expressions with precedence
+// => < || < && < comparisons.
+func parseExpr(s string) (Expr, error) {
+	e, rest, err := parseImplies(strings.TrimSpace(s))
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("trailing input %q in constraint", rest)
+	}
+	return e, nil
+}
+
+func parseImplies(s string) (Expr, string, error) {
+	lhs, rest, err := parseOr(s)
+	if err != nil {
+		return nil, "", err
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "=>") {
+		rhs, rest2, err := parseImplies(rest[2:])
+		if err != nil {
+			return nil, "", err
+		}
+		return &Logic{Op: "=>", LHS: lhs, RHS: rhs}, rest2, nil
+	}
+	return lhs, rest, nil
+}
+
+func parseOr(s string) (Expr, string, error) {
+	lhs, rest, err := parseAnd(s)
+	if err != nil {
+		return nil, "", err
+	}
+	for {
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, "||") {
+			return lhs, rest, nil
+		}
+		rhs, rest2, err := parseAnd(rest[2:])
+		if err != nil {
+			return nil, "", err
+		}
+		lhs = &Logic{Op: "||", LHS: lhs, RHS: rhs}
+		rest = rest2
+	}
+}
+
+func parseAnd(s string) (Expr, string, error) {
+	lhs, rest, err := parseCmp(s)
+	if err != nil {
+		return nil, "", err
+	}
+	for {
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, "&&") {
+			return lhs, rest, nil
+		}
+		rhs, rest2, err := parseCmp(rest[2:])
+		if err != nil {
+			return nil, "", err
+		}
+		lhs = &Logic{Op: "&&", LHS: lhs, RHS: rhs}
+		rest = rest2
+	}
+}
+
+var cmpOps = []string{"==", "!=", "<=", ">=", "<", ">"}
+
+func parseCmp(s string) (Expr, string, error) {
+	lhs, rest, err := parseOperand(s)
+	if err != nil {
+		return nil, "", err
+	}
+	rest = strings.TrimSpace(rest)
+	for _, op := range cmpOps {
+		if strings.HasPrefix(rest, op) {
+			rhs, rest2, err := parseOperand(rest[len(op):])
+			if err != nil {
+				return nil, "", err
+			}
+			return &Cmp{Op: op, LHS: lhs, RHS: rhs}, rest2, nil
+		}
+	}
+	return lhs, rest, nil
+}
+
+func parseOperand(s string) (Expr, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", fmt.Errorf("missing operand")
+	}
+	if s[0] == '(' {
+		e, rest, err := parseImplies(s[1:])
+		if err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, ")") {
+			return nil, "", fmt.Errorf("missing ')' in constraint")
+		}
+		return e, rest[1:], nil
+	}
+	if s[0] == '"' {
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, "", fmt.Errorf("unterminated string in constraint")
+		}
+		lit := s[:end+2]
+		v, err := parseValue(lit)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Lit{Val: v}, s[end+2:], nil
+	}
+	// Number or reference.
+	i := 0
+	for i < len(s) && (isWordByte(s[i]) || s[i] == '.') {
+		i++
+	}
+	tok := s[:i]
+	if tok == "" {
+		return nil, "", fmt.Errorf("unexpected %q in constraint", s)
+	}
+	if tok[0] >= '0' && tok[0] <= '9' || tok[0] == '-' {
+		v, err := parseValue(tok)
+		if err != nil {
+			return nil, "", err
+		}
+		return &Lit{Val: v}, s[i:], nil
+	}
+	ref := &Ref{Attr: tok}
+	if j := strings.IndexByte(tok, '.'); j >= 0 {
+		ref.Instance, ref.Attr = tok[:j], tok[j+1:]
+	}
+	return ref, s[i:], nil
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b == '-' ||
+		b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}

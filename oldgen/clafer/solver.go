@@ -1,0 +1,195 @@
+package clafer
+
+import (
+	"fmt"
+)
+
+// Solve finds the first configuration of the named task that satisfies all
+// feature and task constraints. Choice attributes are tried in domain
+// order, so rule authors encode preference by ordering domains — mirroring
+// the literal-ordering convention of the GoCrySL rule set (paper §4).
+//
+// overrides pins attributes ("instance.attr" -> value) before solving,
+// modelling the wizard input of CogniCrypt_old-gen.
+func (m *Model) Solve(taskName string, overrides Config) (Config, error) {
+	task, ok := m.Tasks[taskName]
+	if !ok {
+		return nil, fmt.Errorf("clafer: unknown task %q", taskName)
+	}
+
+	// Collect the decision variables: one per (instance, attribute).
+	type variable struct {
+		key    string
+		domain []Value
+		expr   []Expr // feature-local constraints scoped to this instance
+	}
+	var vars []variable
+	var allConstraints []scopedExpr
+	for _, u := range task.Uses {
+		f := m.Features[u.Feature]
+		for _, attr := range m.allAttributes(f) {
+			key := u.Instance + "." + attr.Name
+			domain := attr.Domain
+			if pin, ok := overrides[key]; ok {
+				found := false
+				for _, v := range domain {
+					if v.Equal(pin) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("clafer: override %s=%s outside domain", key, pin)
+				}
+				domain = []Value{pin}
+			}
+			vars = append(vars, variable{key: key, domain: domain})
+		}
+		for _, c := range m.allConstraints(f) {
+			allConstraints = append(allConstraints, scopedExpr{instance: u.Instance, expr: c})
+		}
+	}
+	for _, c := range task.Constraints {
+		allConstraints = append(allConstraints, scopedExpr{expr: c})
+	}
+
+	cfg := Config{}
+	var solve func(i int) bool
+	solve = func(i int) bool {
+		if i == len(vars) {
+			for _, sc := range allConstraints {
+				if v, ok := evalExpr(sc.expr, sc.instance, cfg); !ok || !truthy(v) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, v := range vars[i].domain {
+			cfg[vars[i].key] = v
+			// Prune: check constraints that are already fully assigned.
+			ok := true
+			for _, sc := range allConstraints {
+				if v, known := evalExpr(sc.expr, sc.instance, cfg); known && !truthy(v) {
+					ok = false
+					break
+				}
+			}
+			if ok && solve(i+1) {
+				return true
+			}
+			delete(cfg, vars[i].key)
+		}
+		return false
+	}
+	if !solve(0) {
+		return nil, fmt.Errorf("clafer: task %q is unsatisfiable", taskName)
+	}
+	return cfg, nil
+}
+
+type scopedExpr struct {
+	instance string // "" for task-scope constraints
+	expr     Expr
+}
+
+func truthy(v Value) bool { return v.IsInt && v.Int != 0 }
+
+var (
+	trueV  = IntV(1)
+	falseV = IntV(0)
+)
+
+// evalExpr evaluates an expression under a partial configuration. known is
+// false when a referenced attribute is unassigned.
+func evalExpr(e Expr, instance string, cfg Config) (val Value, known bool) {
+	switch e := e.(type) {
+	case *Lit:
+		return e.Val, true
+	case *Ref:
+		key := e.Attr
+		if e.Instance != "" {
+			key = e.Instance + "." + e.Attr
+		} else if instance != "" {
+			key = instance + "." + e.Attr
+		}
+		v, ok := cfg[key]
+		return v, ok
+	case *Cmp:
+		l, lok := evalExpr(e.LHS, instance, cfg)
+		r, rok := evalExpr(e.RHS, instance, cfg)
+		if !lok || !rok {
+			return Value{}, false
+		}
+		return evalCmp(e.Op, l, r), true
+	case *Logic:
+		l, lok := evalExpr(e.LHS, instance, cfg)
+		r, rok := evalExpr(e.RHS, instance, cfg)
+		switch e.Op {
+		case "&&":
+			if lok && !truthy(l) || rok && !truthy(r) {
+				return falseV, true
+			}
+			if lok && rok {
+				return trueV, true
+			}
+		case "||":
+			if lok && truthy(l) || rok && truthy(r) {
+				return trueV, true
+			}
+			if lok && rok {
+				return falseV, true
+			}
+		case "=>":
+			if lok && !truthy(l) {
+				return trueV, true
+			}
+			if rok && truthy(r) {
+				return trueV, true
+			}
+			if lok && rok {
+				return falseV, true
+			}
+		}
+		return Value{}, false
+	}
+	return Value{}, false
+}
+
+func evalCmp(op string, l, r Value) Value {
+	res := false
+	if l.IsInt && r.IsInt {
+		switch op {
+		case "==":
+			res = l.Int == r.Int
+		case "!=":
+			res = l.Int != r.Int
+		case "<":
+			res = l.Int < r.Int
+		case "<=":
+			res = l.Int <= r.Int
+		case ">":
+			res = l.Int > r.Int
+		case ">=":
+			res = l.Int >= r.Int
+		}
+	} else if !l.IsInt && !r.IsInt {
+		switch op {
+		case "==":
+			res = l.Str == r.Str
+		case "!=":
+			res = l.Str != r.Str
+		case "<":
+			res = l.Str < r.Str
+		case "<=":
+			res = l.Str <= r.Str
+		case ">":
+			res = l.Str > r.Str
+		case ">=":
+			res = l.Str >= r.Str
+		}
+	}
+	if res {
+		return trueV
+	}
+	return falseV
+}

@@ -1,0 +1,194 @@
+// Package oldgen reimplements CogniCrypt_old-gen, the XSL+Clafer baseline
+// code generator that CogniCryptGEN replaces (paper §4, §5.3, §6.2).
+//
+// For each of the eight use cases it supported, old-gen keeps two
+// artefacts: an algorithm model in a Clafer-subset variability language
+// and a hard-coded XSL code template with variability points. Generation
+// solves the model's task with a backtracking solver, serialises the
+// solution into an XML configuration document, and runs the XSL transform
+// over it. Unlike CogniCryptGEN, nothing connects these artefacts to the
+// GoCrySL rules — the paper's central maintainability criticism — so the
+// templates can silently drift from the specifications.
+package oldgen
+
+import (
+	"embed"
+	"fmt"
+	"go/format"
+	"sort"
+	"strings"
+
+	"cognicryptgen/oldgen/clafer"
+	"cognicryptgen/oldgen/xsl"
+)
+
+//go:embed artefacts/*.cfr artefacts/*.xsl
+var artefactFS embed.FS
+
+// UseCase identifies one of the eight use cases CogniCrypt_old-gen
+// supports (Table 2 rows).
+type UseCase struct {
+	// ID is the Table 1 / Table 2 row number.
+	ID int
+	// Name is the use-case name.
+	Name string
+	// Task is the Clafer task to solve.
+	Task string
+	// Base is the artefact base name: artefacts/<Base>.cfr and .xsl.
+	Base string
+}
+
+// UseCases lists the old-gen use cases (Table 2 rows 1,2,3,5,6,7,9,10).
+var UseCases = []UseCase{
+	{1, "PBE on Files", "PBEFiles", "uc01_pbefiles"},
+	{2, "PBE on Strings", "PBEStrings", "uc02_pbestrings"},
+	{3, "PBE on Byte-Arrays", "PBEByteArrays", "uc03_pbebytes"},
+	{5, "Hybrid File Encryption", "HybridFiles", "uc05_hybridfile"},
+	{6, "Hybrid String Encryption", "HybridStrings", "uc06_hybridstring"},
+	{7, "Hybrid Byte-Array Encryption", "HybridByteArrays", "uc07_hybridbytes"},
+	{9, "Secure User-Password Storage", "PasswordStorage", "uc09_passwordstorage"},
+	{10, "Digital Signing of Strings", "Signing", "uc10_signing"},
+}
+
+// ByID returns the old-gen use case with the given row number.
+func ByID(id int) (UseCase, error) {
+	for _, uc := range UseCases {
+		if uc.ID == id {
+			return uc, nil
+		}
+	}
+	return UseCase{}, fmt.Errorf("oldgen: no use case %d", id)
+}
+
+// Artefacts carries the raw artefact texts of one use case.
+type Artefacts struct {
+	Clafer string
+	XSL    string
+}
+
+// LoadArtefacts reads a use case's model and stylesheet.
+func LoadArtefacts(uc UseCase) (*Artefacts, error) {
+	cfr, err := artefactFS.ReadFile("artefacts/" + uc.Base + ".cfr")
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: %w", err)
+	}
+	xslSrc, err := artefactFS.ReadFile("artefacts/" + uc.Base + ".xsl")
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: %w", err)
+	}
+	return &Artefacts{Clafer: string(cfr), XSL: string(xslSrc)}, nil
+}
+
+// Result is one old-gen generation outcome.
+type Result struct {
+	// Output is the gofmt-formatted generated Go source.
+	Output string
+	// Config is the solved algorithm configuration.
+	Config clafer.Config
+}
+
+// Generate runs the full old-gen pipeline for a use case: solve the Clafer
+// task (with optional wizard overrides), serialise the configuration, and
+// apply the XSL transform.
+func Generate(uc UseCase, overrides clafer.Config) (*Result, error) {
+	arts, err := LoadArtefacts(uc)
+	if err != nil {
+		return nil, err
+	}
+	model, err := clafer.Parse(arts.Clafer)
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: parsing model for %s: %w", uc.Name, err)
+	}
+	cfg, err := model.Solve(uc.Task, overrides)
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: solving %s: %w", uc.Name, err)
+	}
+	input, err := xsl.ParseInput(ConfigXML(cfg))
+	if err != nil {
+		return nil, err
+	}
+	sheet, err := xsl.ParseStylesheet(arts.XSL)
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: parsing stylesheet for %s: %w", uc.Name, err)
+	}
+	text, err := sheet.Transform(input)
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: transforming %s: %w", uc.Name, err)
+	}
+	formatted, err := format.Source([]byte(text))
+	if err != nil {
+		return nil, fmt.Errorf("oldgen: %s produced unparsable Go (template drift?): %w\n--- output ---\n%s", uc.Name, err, text)
+	}
+	return &Result{Output: string(formatted), Config: cfg}, nil
+}
+
+// ConfigXML serialises a solved configuration as the XML input document of
+// the XSL transform: instance keys become nested elements under <task>.
+func ConfigXML(cfg clafer.Config) string {
+	byInstance := map[string]map[string]clafer.Value{}
+	for key, v := range cfg {
+		inst, attr, ok := strings.Cut(key, ".")
+		if !ok {
+			inst, attr = "task", key
+		}
+		if byInstance[inst] == nil {
+			byInstance[inst] = map[string]clafer.Value{}
+		}
+		byInstance[inst][attr] = v
+	}
+	instances := make([]string, 0, len(byInstance))
+	for inst := range byInstance {
+		instances = append(instances, inst)
+	}
+	sort.Strings(instances)
+
+	var sb strings.Builder
+	sb.WriteString("<task>\n")
+	for _, inst := range instances {
+		fmt.Fprintf(&sb, "  <%s>\n", inst)
+		attrs := make([]string, 0, len(byInstance[inst]))
+		for a := range byInstance[inst] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			v := byInstance[inst][a]
+			text := v.Str
+			if v.IsInt {
+				text = fmt.Sprint(v.Int)
+			}
+			fmt.Fprintf(&sb, "    <%s>%s</%s>\n", a, xmlEscape(text), a)
+		}
+		fmt.Fprintf(&sb, "  </%s>\n", inst)
+	}
+	sb.WriteString("</task>\n")
+	return sb.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// countLOC counts non-blank, non-comment lines ("//" comments for Clafer).
+func countLOC(src string, lineComment string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || (lineComment != "" && strings.HasPrefix(s, lineComment)) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ArtefactLOC returns the Table 2 artefact-size metrics for a use case:
+// non-blank XSL lines and non-blank, non-comment Clafer lines.
+func ArtefactLOC(uc UseCase) (xslLOC, claferLOC int, err error) {
+	arts, err := LoadArtefacts(uc)
+	if err != nil {
+		return 0, 0, err
+	}
+	return countLOC(arts.XSL, ""), countLOC(arts.Clafer, "//"), nil
+}

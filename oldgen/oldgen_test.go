@@ -1,0 +1,68 @@
+package oldgen
+
+import (
+	"strings"
+	"testing"
+
+	"cognicryptgen/internal/srccheck"
+	"cognicryptgen/oldgen/clafer"
+)
+
+// TestAllUseCasesGenerateAndTypeCheck drives the full old-gen pipeline for
+// every supported use case and verifies the produced Go compiles against
+// the module.
+func TestAllUseCasesGenerateAndTypeCheck(t *testing.T) {
+	checker, err := srccheck.NewChecker("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uc := range UseCases {
+		res, err := Generate(uc, nil)
+		if err != nil {
+			t.Errorf("use case %d (%s): %v", uc.ID, uc.Name, err)
+			continue
+		}
+		if _, _, _, err := checker.CheckSource(uc.Base+".go", res.Output); err != nil {
+			t.Errorf("use case %d (%s): output does not type-check: %v", uc.ID, uc.Name, err)
+		}
+	}
+}
+
+// TestWizardOverrides models the old-gen wizard pinning an algorithm
+// choice: overriding the cipher mode must flow into the output.
+func TestWizardOverrides(t *testing.T) {
+	uc, _ := ByID(3)
+	res, err := Generate(uc, clafer.Config{
+		"kda.iterations": clafer.IntV(100000),
+		"kda.outputSize": clafer.IntV(256),
+		"cipher.keySize": clafer.IntV(256),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "100000, 256") {
+		t.Errorf("override not reflected in output")
+	}
+}
+
+// TestOverrideOutsideDomainRejected pins a value the model does not allow.
+func TestOverrideOutsideDomainRejected(t *testing.T) {
+	uc, _ := ByID(3)
+	_, err := Generate(uc, clafer.Config{"kda.iterations": clafer.IntV(5)})
+	if err == nil {
+		t.Fatal("override outside domain must fail")
+	}
+}
+
+// TestArtefactLOC sanity-checks the Table 2 size metric.
+func TestArtefactLOC(t *testing.T) {
+	for _, uc := range UseCases {
+		xslLOC, cfrLOC, err := ArtefactLOC(uc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xslLOC < 40 || cfrLOC < 10 {
+			t.Errorf("use case %d: implausible artefact sizes xsl=%d clafer=%d", uc.ID, xslLOC, cfrLOC)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package oldgen
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cognicryptgen/internal/srccheck"
+)
+
+// TestOldGenCodeRoundTrips mirrors the gen package's runtime integration
+// test for the baseline: every XSL-generated use case is compiled into a
+// scratch module and executed through its hard-coded templateUsage
+// showcase (renamed per file to avoid collisions), plus a behavioural
+// assertion per use-case family.
+func TestOldGenCodeRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess go test in -short mode")
+	}
+	root, err := srccheck.ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gomod := fmt.Sprintf(`module oldrt
+
+go 1.24
+
+require cognicryptgen v0.0.0-00010101000000-000000000000
+
+replace cognicryptgen => %s
+`, root)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "oldgenerated")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, uc := range UseCases {
+		res, err := Generate(uc, nil)
+		if err != nil {
+			t.Fatalf("use case %d: %v", uc.ID, err)
+		}
+		out := strings.ReplaceAll(res.Output, "templateUsage", fmt.Sprintf("usageUC%d", uc.ID))
+		if err := os.WriteFile(filepath.Join(pkgDir, uc.Base+".go"), []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "rt_test.go"), []byte(oldGenRTTests), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "test", "./oldgenerated/")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("old-gen generated-code test run failed: %v\n%s", err, outBytes)
+	}
+	t.Logf("subprocess go test:\n%s", outBytes)
+}
+
+const oldGenRTTests = `package oldgenerated
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUsageShowcasesRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.txt")
+	if err := os.WriteFile(path, []byte("old-gen payload"), 0o600); err != nil { t.Fatal(err) }
+	if err := usageUC1(path, []rune("pw")); err != nil { t.Fatal("uc1:", err) }
+	if err := usageUC2("secret", []rune("pw")); err != nil { t.Fatal("uc2:", err) }
+	if err := usageUC3([]rune("pw"), []byte("data")); err != nil { t.Fatal("uc3:", err) }
+	path5 := filepath.Join(t.TempDir(), "h.bin")
+	if err := os.WriteFile(path5, []byte("hybrid payload"), 0o600); err != nil { t.Fatal(err) }
+	if err := usageUC5(path5); err != nil { t.Fatal("uc5:", err) }
+	if err := usageUC6("hybrid secret"); err != nil { t.Fatal("uc6:", err) }
+	if err := usageUC7([]byte("hybrid bytes")); err != nil { t.Fatal("uc7:", err) }
+	if err := usageUC9([]rune("tr0ub4dor")); err != nil { t.Fatal("uc9:", err) }
+	if err := usageUC10("release v1"); err != nil { t.Fatal("uc10:", err) }
+}
+
+func TestPBEFileRoundTripContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.txt")
+	plain := []byte("verify the content, not just the absence of errors")
+	if err := os.WriteFile(path, plain, 0o600); err != nil { t.Fatal(err) }
+	e := &PBEFileEncryptor{}
+	if err := e.EncryptFile(path, []rune("pw")); err != nil { t.Fatal(err) }
+	if err := e.DecryptFile(path, []rune("pw")); err != nil { t.Fatal(err) }
+	got, _ := os.ReadFile(path)
+	if string(got) != string(plain) { t.Fatalf("round trip mismatch: %q", got) }
+}
+
+func TestSigningDetectsTamper(t *testing.T) {
+	s := &StringSigner{}
+	kp, err := s.GenerateKeyPair()
+	if err != nil { t.Fatal(err) }
+	sig, err := s.Sign("msg", kp)
+	if err != nil { t.Fatal(err) }
+	ok, err := s.Verify("msg", sig, kp)
+	if err != nil || !ok { t.Fatal("valid signature rejected") }
+	ok, err = s.Verify("other", sig, kp)
+	if err != nil { t.Fatal(err) }
+	if ok { t.Fatal("tampered message accepted") }
+}
+
+func TestPasswordStorageRejectsWrong(t *testing.T) {
+	p := &PasswordStorage{}
+	stored, err := p.Hash([]rune("right"))
+	if err != nil { t.Fatal(err) }
+	ok, err := p.Verify([]rune("wrong"), stored)
+	if err != nil { t.Fatal(err) }
+	if ok { t.Fatal("wrong password accepted") }
+}
+`

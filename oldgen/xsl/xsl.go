@@ -1,0 +1,297 @@
+// Package xsl implements the XSLT subset that CogniCrypt_old-gen used for
+// its code templates (paper §4, §6.2). A stylesheet is an XML document
+// whose text is emitted verbatim and whose xsl:* elements are evaluated
+// against an input configuration document:
+//
+//	<xsl:value-of select="task/kda/iterations"/>
+//	<xsl:if test="task/cipher/mode = 'GCM'"> … </xsl:if>
+//	<xsl:choose>
+//	  <xsl:when test="…"> … </xsl:when>
+//	  <xsl:otherwise> … </xsl:otherwise>
+//	</xsl:choose>
+//	<xsl:for-each select="task/uses"> … <xsl:value-of select="."/> … </xsl:for-each>
+//
+// Select paths are slash-separated child walks relative to the current
+// node; tests compare a path's text against a quoted literal (=, !=) or a
+// number (=, !=, <, <=, >, >=).
+package xsl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is an element of the input configuration document.
+type Node struct {
+	Name     string
+	Text     string
+	Children []*Node
+}
+
+// ParseInput parses an XML configuration document into a node tree.
+func ParseInput(src string) (*Node, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	root := &Node{Name: "#document"}
+	stack := []*Node{root}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			stack[len(stack)-1].Text += string(t)
+		}
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("xsl: empty input document")
+	}
+	return root, nil
+}
+
+// find walks a slash-separated path from n, returning all matches.
+func (n *Node) find(path string) []*Node {
+	path = strings.TrimSpace(path)
+	if path == "." || path == "" {
+		return []*Node{n}
+	}
+	cur := []*Node{n}
+	for _, seg := range strings.Split(path, "/") {
+		var next []*Node
+		for _, c := range cur {
+			for _, child := range c.Children {
+				if child.Name == seg {
+					next = append(next, child)
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// text returns the trimmed text of the first match of path, or "".
+func (n *Node) text(path string) string {
+	matches := n.find(path)
+	if len(matches) == 0 {
+		return ""
+	}
+	return strings.TrimSpace(matches[0].Text)
+}
+
+// Stylesheet is a parsed XSL template.
+type Stylesheet struct {
+	root *xnode
+	// LOC is the number of non-blank lines in the stylesheet source, the
+	// Table 2 artefact-size metric.
+	LOC int
+}
+
+// xnode mirrors the stylesheet structure: literal text and xsl elements.
+type xnode struct {
+	kind     string // "text", "value-of", "if", "choose", "when", "otherwise", "for-each", "root"
+	text     string // for text nodes
+	selectA  string // select attribute
+	testA    string // test attribute
+	children []*xnode
+}
+
+// xslNS is the standard XSLT namespace.
+const xslNS = "http://www.w3.org/1999/XSL/Transform"
+
+func isXSLSpace(space string) bool { return space == "xsl" || space == xslNS }
+
+// ParseStylesheet parses an XSL template.
+func ParseStylesheet(src string) (*Stylesheet, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	root := &xnode{kind: "root"}
+	stack := []*xnode{root}
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if isXSLSpace(t.Name.Space) || strings.HasPrefix(t.Name.Local, "xsl:") {
+				local := strings.TrimPrefix(t.Name.Local, "xsl:")
+				switch local {
+				case "stylesheet", "template":
+					continue // structural wrappers
+				case "value-of", "if", "choose", "when", "otherwise", "for-each", "text":
+					n := &xnode{kind: local}
+					for _, a := range t.Attr {
+						switch a.Name.Local {
+						case "select":
+							n.selectA = a.Value
+						case "test":
+							n.testA = a.Value
+						}
+					}
+					parent := stack[len(stack)-1]
+					parent.children = append(parent.children, n)
+					if local != "value-of" {
+						stack = append(stack, n)
+					}
+				default:
+					return nil, fmt.Errorf("xsl: unsupported element xsl:%s", local)
+				}
+				continue
+			}
+			return nil, fmt.Errorf("xsl: unexpected non-xsl element <%s>", t.Name.Local)
+		case xml.EndElement:
+			depth--
+			local := strings.TrimPrefix(t.Name.Local, "xsl:")
+			switch local {
+			case "stylesheet", "template", "value-of":
+				continue
+			case "if", "choose", "when", "otherwise", "for-each", "text":
+				if len(stack) > 1 {
+					stack = stack[:len(stack)-1]
+				}
+			}
+		case xml.CharData:
+			parent := stack[len(stack)-1]
+			parent.children = append(parent.children, &xnode{kind: "text", text: string(t)})
+		}
+	}
+	loc := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			loc++
+		}
+	}
+	return &Stylesheet{root: root, LOC: loc}, nil
+}
+
+// Transform applies the stylesheet to an input document and returns the
+// produced text.
+func (s *Stylesheet) Transform(input *Node) (string, error) {
+	var sb strings.Builder
+	if err := emit(s.root, input, &sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func emit(n *xnode, ctx *Node, sb *strings.Builder) error {
+	switch n.kind {
+	case "root", "text", "when", "otherwise":
+		// "text" covers both literal character data (n.text set) and
+		// <xsl:text> elements (children hold the character data).
+		sb.WriteString(n.text)
+		for _, c := range n.children {
+			if err := emit(c, ctx, sb); err != nil {
+				return err
+			}
+		}
+	case "value-of":
+		sb.WriteString(ctx.text(n.selectA))
+	case "if":
+		ok, err := evalTest(n.testA, ctx)
+		if err != nil {
+			return err
+		}
+		if ok {
+			for _, c := range n.children {
+				if err := emit(c, ctx, sb); err != nil {
+					return err
+				}
+			}
+		}
+	case "choose":
+		for _, c := range n.children {
+			switch c.kind {
+			case "when":
+				ok, err := evalTest(c.testA, ctx)
+				if err != nil {
+					return err
+				}
+				if ok {
+					return emit(c, ctx, sb)
+				}
+			case "otherwise":
+				return emit(c, ctx, sb)
+			case "text":
+				// whitespace between clauses
+			}
+		}
+	case "for-each":
+		for _, match := range ctx.find(n.selectA) {
+			for _, c := range n.children {
+				if err := emit(c, match, sb); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("xsl: cannot emit %q node", n.kind)
+	}
+	return nil
+}
+
+// evalTest evaluates "path OP literal" tests, where OP is one of
+// = != < <= > >= and the literal is 'quoted' or numeric. A bare path tests
+// node existence.
+func evalTest(test string, ctx *Node) (bool, error) {
+	test = strings.TrimSpace(test)
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		i := strings.Index(test, op)
+		if i < 0 {
+			continue
+		}
+		lhs := strings.TrimSpace(test[:i])
+		rhs := strings.TrimSpace(test[i+len(op):])
+		got := ctx.text(lhs)
+		if strings.HasPrefix(rhs, "'") && strings.HasSuffix(rhs, "'") && len(rhs) >= 2 {
+			want := rhs[1 : len(rhs)-1]
+			switch op {
+			case "=":
+				return got == want, nil
+			case "!=":
+				return got != want, nil
+			default:
+				return false, fmt.Errorf("xsl: operator %q not defined on strings", op)
+			}
+		}
+		wantN, err := strconv.ParseInt(rhs, 10, 64)
+		if err != nil {
+			return false, fmt.Errorf("xsl: bad test literal %q", rhs)
+		}
+		gotN, err := strconv.ParseInt(got, 10, 64)
+		if err != nil {
+			return false, nil // missing/non-numeric value fails the test
+		}
+		switch op {
+		case "=":
+			return gotN == wantN, nil
+		case "!=":
+			return gotN != wantN, nil
+		case "<":
+			return gotN < wantN, nil
+		case "<=":
+			return gotN <= wantN, nil
+		case ">":
+			return gotN > wantN, nil
+		case ">=":
+			return gotN >= wantN, nil
+		}
+	}
+	return len(ctx.find(test)) > 0, nil
+}

@@ -1,0 +1,151 @@
+package xsl
+
+import (
+	"strings"
+	"testing"
+)
+
+const inputDoc = `<task>
+  <kda>
+    <name>PBKDF2WithHmacSHA256</name>
+    <iterations>10000</iterations>
+  </kda>
+  <cipher>
+    <mode>GCM</mode>
+    <keySize>128</keySize>
+  </cipher>
+</task>
+`
+
+func transform(t *testing.T, sheet string) string {
+	t.Helper()
+	in, err := ParseInput(inputDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseStylesheet(sheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wrap(body string) string {
+	return `<?xml version="1.0"?>
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+<xsl:template match="/">` + body + `</xsl:template>
+</xsl:stylesheet>`
+}
+
+func TestValueOf(t *testing.T) {
+	out := transform(t, wrap(`<xsl:text>iter=</xsl:text><xsl:value-of select="task/kda/iterations"/>`))
+	if strings.TrimSpace(out) != "iter=10000" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestValueOfMissingPathIsEmpty(t *testing.T) {
+	out := transform(t, wrap(`<xsl:text>[</xsl:text><xsl:value-of select="task/nope"/><xsl:text>]</xsl:text>`))
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestIfStringEquality(t *testing.T) {
+	out := transform(t, wrap(`<xsl:if test="task/cipher/mode = 'GCM'"><xsl:text>yes</xsl:text></xsl:if><xsl:if test="task/cipher/mode = 'CBC'"><xsl:text>no</xsl:text></xsl:if>`))
+	if strings.TrimSpace(out) != "yes" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestIfNumericComparison(t *testing.T) {
+	out := transform(t, wrap(`<xsl:if test="task/kda/iterations >= 10000"><xsl:text>strong</xsl:text></xsl:if><xsl:if test="task/kda/iterations &lt; 10000"><xsl:text>weak</xsl:text></xsl:if>`))
+	if strings.TrimSpace(out) != "strong" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestChooseWhenOtherwise(t *testing.T) {
+	sheet := wrap(`<xsl:choose><xsl:when test="task/cipher/mode = 'CBC'"><xsl:text>PKCS7Padding</xsl:text></xsl:when><xsl:otherwise><xsl:text>NoPadding</xsl:text></xsl:otherwise></xsl:choose>`)
+	if out := transform(t, sheet); strings.TrimSpace(out) != "NoPadding" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestExistenceTest(t *testing.T) {
+	out := transform(t, wrap(`<xsl:if test="task/kda"><xsl:text>has-kda</xsl:text></xsl:if><xsl:if test="task/ghost"><xsl:text>has-ghost</xsl:text></xsl:if>`))
+	if strings.TrimSpace(out) != "has-kda" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	in, err := ParseInput(`<task><item><v>1</v></item><item><v>2</v></item></task>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseStylesheet(wrap(`<xsl:for-each select="task/item"><xsl:text>[</xsl:text><xsl:value-of select="v"/><xsl:text>]</xsl:text></xsl:for-each>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "[1][2]" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestEntityEscapes(t *testing.T) {
+	out := transform(t, wrap(`<xsl:text>a &lt; b &amp;&amp; c &gt; d</xsl:text>`))
+	if strings.TrimSpace(out) != "a < b && c > d" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestUnsupportedElementRejected(t *testing.T) {
+	_, err := ParseStylesheet(wrap(`<xsl:apply-templates select="x"/>`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNonXSLElementRejected(t *testing.T) {
+	_, err := ParseStylesheet(wrap(`<div>html?</div>`))
+	if err == nil {
+		t.Fatal("non-xsl element accepted")
+	}
+}
+
+func TestStringOperatorOnStringsRejected(t *testing.T) {
+	in, _ := ParseInput(inputDoc)
+	s, err := ParseStylesheet(wrap(`<xsl:if test="task/cipher/mode &lt; 'Z'"><xsl:text>x</xsl:text></xsl:if>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(in); err == nil {
+		t.Fatal("relational operator on strings accepted")
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	if _, err := ParseInput("   "); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+func TestLOCCounting(t *testing.T) {
+	s, err := ParseStylesheet(wrap(`<xsl:text>one
+two</xsl:text>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LOC < 4 {
+		t.Errorf("LOC = %d", s.LOC)
+	}
+}

@@ -1,0 +1,64 @@
+// Package rules embeds and loads the GoCrySL rule set for the gca crypto
+// façade — the analog of CogniCrypt's JCA rule repository
+// (github.com/CROSSINGTUD/Crypto-API-Rules), rewritten against the Go
+// standard library crypto wrappers per the reproduction plan.
+package rules
+
+import (
+	"embed"
+	"sync"
+
+	"cognicryptgen/crysl"
+)
+
+//go:embed gca/*.crysl
+var ruleFS embed.FS
+
+var (
+	once   sync.Once
+	set    *crysl.RuleSet
+	setErr error
+)
+
+// Load parses and compiles the embedded gca rule set. The result is cached
+// after the first call; the returned RuleSet must be treated as read-only.
+func Load() (*crysl.RuleSet, error) {
+	once.Do(func() {
+		set, setErr = crysl.LoadFS(ruleFS, "gca")
+	})
+	return set, setErr
+}
+
+// MustLoad is Load, panicking on error. Intended for tests, benchmarks and
+// command-line tools where a broken embedded rule set is unrecoverable.
+func MustLoad() *crysl.RuleSet {
+	s, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LoadFresh parses the embedded rules without the package-level cache.
+// Benchmarks use it to measure full parse+compile cost per iteration.
+func LoadFresh() (*crysl.RuleSet, error) {
+	return crysl.LoadFS(ruleFS, "gca")
+}
+
+// Sources returns the raw rule texts keyed by filename, for tooling (LoC
+// accounting in the effort package, pretty-printing in cmd/cryslc).
+func Sources() (map[string]string, error) {
+	entries, err := ruleFS.ReadDir("gca")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := ruleFS.ReadFile("gca/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = string(data)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadsAllRules(t *testing.T) {
+	s, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 14 {
+		t.Fatalf("rule count %d, want 14", s.Len())
+	}
+	for _, name := range []string{
+		"gca.SecureRandom", "gca.PBEKeySpec", "gca.SecretKeyFactory",
+		"gca.SecretKey", "gca.SecretKeySpec", "gca.KeyGenerator",
+		"gca.KeyPairGenerator", "gca.KeyPair", "gca.IVParameterSpec",
+		"gca.Cipher", "gca.Signature", "gca.MessageDigest", "gca.Mac",
+		"gca.KeyStore",
+	} {
+		if _, ok := s.Get(name); !ok {
+			t.Errorf("missing rule %s", name)
+		}
+	}
+}
+
+func TestPredicateChainIsClosed(t *testing.T) {
+	// Every REQUIRES predicate must have at least one producer in the set
+	// (or be the template-trust escape hatch, which none should need).
+	s := MustLoad()
+	for _, r := range s.Rules() {
+		for _, req := range r.AST.Requires {
+			if producers := s.Producers(req.Name); len(producers) == 0 {
+				t.Errorf("%s requires %q, which no rule ENSURES", r.SpecType(), req.Name)
+			}
+		}
+	}
+}
+
+func TestPBEKeySpecRuleShape(t *testing.T) {
+	s := MustLoad()
+	r, _ := s.Get("gca.PBEKeySpec")
+	if len(r.AST.Forbidden) != 1 || r.AST.Forbidden[0].Method != "NewPBEKeySpecNoSalt" {
+		t.Errorf("forbidden section: %+v", r.AST.Forbidden)
+	}
+	if !r.DFA.Accepts([]string{"c1", "cP"}) {
+		t.Error("c1,cP must be accepted")
+	}
+	if r.DFA.Accepts([]string{"c1"}) {
+		t.Error("missing ClearPassword must leave a non-accepting state")
+	}
+	neg := r.NegatingLabels()
+	if !neg["cP"] {
+		t.Error("cP must negate")
+	}
+}
+
+func TestCipherRuleCoversAllFlows(t *testing.T) {
+	s := MustLoad()
+	r, _ := s.Get("gca.Cipher")
+	flows := [][]string{
+		{"c1", "i1", "f1"},
+		{"c1", "i2", "f1"},
+		{"c1", "i2", "a1", "u1", "f1"},
+		{"c1", "i1", "w1"},
+		{"c1", "i1", "uw1"},
+		{"c1", "i1", "gi", "f1"},
+	}
+	for _, f := range flows {
+		if !r.DFA.Accepts(f) {
+			t.Errorf("flow %v rejected", f)
+		}
+	}
+	bad := [][]string{
+		{"f1"},
+		{"c1", "f1"},
+		{"c1", "i1", "i2", "f1"},
+		{"c1", "i1", "f1", "w1"},
+	}
+	for _, f := range bad {
+		if r.DFA.Accepts(f) {
+			t.Errorf("flow %v wrongly accepted", f)
+		}
+	}
+}
+
+func TestAlgorithmLiteralsMatchGCAWhitelist(t *testing.T) {
+	// Rule/API drift check: every algorithm literal in the rules must be
+	// accepted by the gca constructors (covered behaviourally by the gca
+	// tests); here we at least pin the preferred literals the generator
+	// will pick.
+	srcs, err := Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := map[string]string{
+		"SecretKeyFactory.crysl": `{"PBKDF2WithHmacSHA256"`,
+		"Cipher.crysl":           `{"AES/GCM/NoPadding"`,
+		"MessageDigest.crysl":    `{"SHA-256"`,
+		"Signature.crysl":        `{"SHA256withECDSA"`,
+		"KeyGenerator.crysl":     `{"AES"}`,
+	}
+	for file, frag := range pins {
+		if !strings.Contains(srcs[file], frag) {
+			t.Errorf("%s: preferred literal %q not first", file, frag)
+		}
+	}
+}
+
+func TestLoadFreshIndependentOfCache(t *testing.T) {
+	a := MustLoad()
+	b, err := LoadFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("LoadFresh returned the cached set")
+	}
+	if a.Len() != b.Len() {
+		t.Error("fresh load differs from cached load")
+	}
+}

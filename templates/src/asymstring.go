@@ -1,0 +1,51 @@
+//go:build cryptgen_template
+
+// Template: asymmetric encryption of strings (use case 8 of Table 1).
+// Short strings are encrypted directly with RSA-OAEP; for bulk data the
+// hybrid templates apply.
+package asymstring
+
+import (
+	"encoding/hex"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// AsymmetricStringEncryptor encrypts short strings under an RSA public key.
+type AsymmetricStringEncryptor struct{}
+
+// GenerateKeyPair produces the recipient's RSA key pair.
+func (t *AsymmetricStringEncryptor) GenerateKeyPair() (*gca.KeyPair, error) {
+	var kp *gca.KeyPair
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPairGenerator").AddReturnObject(kp).
+		Generate()
+	return kp, nil
+}
+
+// Encrypt encrypts plaintext for the holder of pub (hex-armored).
+func (t *AsymmetricStringEncryptor) Encrypt(plaintext string, pub *gca.PublicKey) (string, error) {
+	data := []byte(plaintext)
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.Cipher").AddParameter(pub, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()
+	return hex.EncodeToString(ciphertext), nil
+}
+
+// Decrypt reverses Encrypt with the matching private key.
+func (t *AsymmetricStringEncryptor) Decrypt(armored string, priv *gca.PrivateKey) (string, error) {
+	body, err := hex.DecodeString(armored)
+	if err != nil {
+		return "", err
+	}
+	mode := gca.DecryptMode
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.Cipher").AddParameter(mode, "encmode").AddParameter(priv, "key").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return string(plaintext), nil
+}

@@ -1,0 +1,24 @@
+//go:build cryptgen_template
+
+// Template: hashing of strings (use case 11 of Table 1). The rule set
+// whitelists SHA-2 and SHA-3 family digests; MD5 and SHA-1 cannot be
+// generated.
+package hashing
+
+import (
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// StringHasher computes cryptographic digests of strings.
+type StringHasher struct{}
+
+// Hash returns the digest of s under the rule set's preferred hash
+// algorithm.
+func (t *StringHasher) Hash(s string) ([]byte, error) {
+	data := []byte(s)
+	var digest []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.MessageDigest").AddParameter(data, "input").AddReturnObject(digest).
+		Generate()
+	return digest, nil
+}

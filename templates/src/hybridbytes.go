@@ -1,0 +1,60 @@
+//go:build cryptgen_template
+
+// Template: hybrid encryption of byte arrays (use case 7 of Table 1). A
+// fresh AES session key encrypts the payload; the session key itself is
+// wrapped with the recipient's RSA public key (RSA-OAEP).
+package hybridbytes
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// HybridByteArrayEncryptor performs hybrid (KEM/DEM-style) encryption of
+// byte slices.
+type HybridByteArrayEncryptor struct{}
+
+// GenerateKeyPair produces the recipient's RSA key pair.
+func (t *HybridByteArrayEncryptor) GenerateKeyPair() (*gca.KeyPair, error) {
+	var kp *gca.KeyPair
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPairGenerator").AddReturnObject(kp).
+		Generate()
+	return kp, nil
+}
+
+// Encrypt encrypts data for the holder of pub. It returns IV‖ciphertext
+// and the wrapped session key.
+func (t *HybridByteArrayEncryptor) Encrypt(data []byte, pub *gca.PublicKey) ([]byte, []byte, error) {
+	iv := make([]byte, 12)
+	wrapMode := gca.WrapMode
+	var ciphertext []byte
+	var wrappedKey []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyGenerator").
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(data, "input").AddReturnObject(ciphertext).
+		ConsiderRule("gca.Cipher").AddParameter(wrapMode, "encmode").AddParameter(pub, "key").AddReturnObject(wrappedKey).
+		Generate()
+	return append(iv, ciphertext...), wrappedKey, nil
+}
+
+// Decrypt unwraps the session key with priv and decrypts data (IV‖body).
+func (t *HybridByteArrayEncryptor) Decrypt(data, wrappedKey []byte, priv *gca.PrivateKey) ([]byte, error) {
+	if len(data) < 12 {
+		return nil, gca.ErrInvalidParameter
+	}
+	iv := data[:12]
+	body := data[12:]
+	unwrapMode := gca.UnwrapMode
+	decryptMode := gca.DecryptMode
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.Cipher").AddParameter(unwrapMode, "encmode").AddParameter(priv, "key").AddParameter(wrappedKey, "wrappedKeyBytes").
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(decryptMode, "encmode").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return plaintext, nil
+}

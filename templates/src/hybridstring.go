@@ -1,0 +1,73 @@
+//go:build cryptgen_template
+
+// Template: hybrid encryption of strings (use case 6 of Table 1). Same
+// KEM/DEM structure, with hex armoring glue: the armored form is
+// "wrappedKey:iv:body" in hex.
+package hybridstring
+
+import (
+	"encoding/hex"
+	"strings"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// HybridStringEncryptor performs hybrid encryption of strings.
+type HybridStringEncryptor struct{}
+
+// GenerateKeyPair produces the recipient's RSA key pair.
+func (t *HybridStringEncryptor) GenerateKeyPair() (*gca.KeyPair, error) {
+	var kp *gca.KeyPair
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPairGenerator").AddReturnObject(kp).
+		Generate()
+	return kp, nil
+}
+
+// Encrypt encrypts plaintext for the holder of pub.
+func (t *HybridStringEncryptor) Encrypt(plaintext string, pub *gca.PublicKey) (string, error) {
+	data := []byte(plaintext)
+	iv := make([]byte, 12)
+	wrapMode := gca.WrapMode
+	var ciphertext []byte
+	var wrappedKey []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyGenerator").
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(data, "input").AddReturnObject(ciphertext).
+		ConsiderRule("gca.Cipher").AddParameter(wrapMode, "encmode").AddParameter(pub, "key").AddReturnObject(wrappedKey).
+		Generate()
+	return hex.EncodeToString(wrappedKey) + ":" + hex.EncodeToString(iv) + ":" + hex.EncodeToString(ciphertext), nil
+}
+
+// Decrypt reverses Encrypt with the recipient's private key.
+func (t *HybridStringEncryptor) Decrypt(armored string, priv *gca.PrivateKey) (string, error) {
+	parts := strings.Split(armored, ":")
+	if len(parts) != 3 {
+		return "", gca.ErrInvalidParameter
+	}
+	wrappedKey, err := hex.DecodeString(parts[0])
+	if err != nil {
+		return "", err
+	}
+	iv, err := hex.DecodeString(parts[1])
+	if err != nil {
+		return "", err
+	}
+	body, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return "", err
+	}
+	unwrapMode := gca.UnwrapMode
+	decryptMode := gca.DecryptMode
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.Cipher").AddParameter(unwrapMode, "encmode").AddParameter(priv, "key").AddParameter(wrappedKey, "wrappedKeyBytes").
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(decryptMode, "encmode").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return string(plaintext), nil
+}

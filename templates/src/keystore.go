@@ -1,0 +1,50 @@
+//go:build cryptgen_template
+
+// Template: password-sealed key storage (extension use case 13). A master
+// AES key is generated, stored in a KeyStore sealed under a password, and
+// retrieved again — the JCA key-management service the CogniCrypt rule set
+// also covers.
+package keystore
+
+import (
+	"os"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// KeyVault persists a master key in a password-sealed store on disk.
+type KeyVault struct{}
+
+// CreateMasterKey generates a master key and seals it into the store at
+// path.
+func (t *KeyVault) CreateMasterKey(path string, pwd []rune) (*gca.SecretKey, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	alias := "master"
+	var key *gca.SecretKey
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyGenerator").AddReturnObject(key).
+		ConsiderRule("gca.KeyStore").AddParameter(alias, "alias").AddParameter(f, "sink").AddParameter(pwd, "password").
+		Generate()
+	return key, nil
+}
+
+// LoadMasterKey opens the store at path and retrieves the master key.
+func (t *KeyVault) LoadMasterKey(path string, pwd []rune) (*gca.SecretKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	alias := "master"
+	var key *gca.SecretKey
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyStore").AddParameter(f, "source").AddParameter(pwd, "password").AddParameter(alias, "alias").
+		AddReturnObject(key).
+		Generate()
+	return key, nil
+}

@@ -1,0 +1,55 @@
+//go:build cryptgen_template
+
+// Template: secure user-password storage (use case 9 of Table 1). The
+// stored form is "salt$hash" in hex; verification re-derives and compares
+// in constant time.
+package passwordstorage
+
+import (
+	"crypto/subtle"
+	"encoding/hex"
+	"strings"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// PasswordStorage hashes passwords for storage and verifies login
+// attempts.
+type PasswordStorage struct{}
+
+// Hash derives a storable credential from pwd with a fresh random salt.
+func (t *PasswordStorage) Hash(pwd []rune) (string, error) {
+	salt := make([]byte, 32)
+	var digest []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(salt, "out").
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").AddReturnObject(digest).
+		Generate()
+	return hex.EncodeToString(salt) + "$" + hex.EncodeToString(digest), nil
+}
+
+// Verify reports whether pwd matches the stored credential.
+func (t *PasswordStorage) Verify(pwd []rune, stored string) (bool, error) {
+	parts := strings.Split(stored, "$")
+	if len(parts) != 2 {
+		return false, gca.ErrInvalidParameter
+	}
+	salt, err := hex.DecodeString(parts[0])
+	if err != nil {
+		return false, err
+	}
+	want, err := hex.DecodeString(parts[1])
+	if err != nil {
+		return false, err
+	}
+	var digest []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").AddParameter(salt, "salt").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").AddReturnObject(digest).
+		Generate()
+	return subtle.ConstantTimeCompare(digest, want) == 1, nil
+}

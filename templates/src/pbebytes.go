@@ -1,0 +1,74 @@
+//go:build cryptgen_template
+
+// Template: password-based encryption of byte arrays (use case 3 of
+// Table 1). Only glue code lives here; all security-sensitive calls are
+// generated from the GoCrySL rules named in the fluent chains.
+package pbebytes
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// PBEByteArrayEncryptor encrypts and decrypts byte arrays with a key
+// derived from a password.
+type PBEByteArrayEncryptor struct{}
+
+// GetKey derives an AES key from pwd using a freshly randomized salt. The
+// returned salt must be stored alongside the ciphertext for decryption.
+func (t *PBEByteArrayEncryptor) GetKey(pwd []rune) (*gca.SecretKeySpec, []byte, error) {
+	salt := make([]byte, 32)
+	var encryptionKey *gca.SecretKeySpec
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(salt, "out").
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(encryptionKey).
+		Generate()
+	return encryptionKey, salt, nil
+}
+
+// GetKeyWithSalt re-derives the AES key from pwd and a stored salt.
+func (t *PBEByteArrayEncryptor) GetKeyWithSalt(pwd []rune, salt []byte) (*gca.SecretKeySpec, error) {
+	var encryptionKey *gca.SecretKeySpec
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").AddParameter(salt, "salt").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(encryptionKey).
+		Generate()
+	return encryptionKey, nil
+}
+
+// Encrypt encrypts data under key; the randomized IV is prepended to the
+// returned ciphertext.
+func (t *PBEByteArrayEncryptor) Encrypt(data []byte, key *gca.SecretKeySpec) ([]byte, error) {
+	iv := make([]byte, 12)
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()
+	return append(iv, ciphertext...), nil
+}
+
+// Decrypt reverses Encrypt: it splits the IV off data and decrypts the
+// remainder under key.
+func (t *PBEByteArrayEncryptor) Decrypt(data []byte, key *gca.SecretKeySpec) ([]byte, error) {
+	if len(data) < 12 {
+		return nil, gca.ErrInvalidParameter
+	}
+	iv := data[:12]
+	body := data[12:]
+	mode := gca.DecryptMode
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(mode, "encmode").AddParameter(key, "key").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return plaintext, nil
+}

@@ -1,0 +1,74 @@
+//go:build cryptgen_template
+
+// Template: password-based encryption of files (use case 1 of Table 1).
+// Glue code handles file I/O; key derivation and encryption are generated
+// from GoCrySL rules.
+package pbefiles
+
+import (
+	"os"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// PBEFileEncryptor encrypts and decrypts files in place with a key derived
+// from a password. Encrypted files carry the 32-byte salt followed by the
+// 12-byte IV followed by the ciphertext.
+type PBEFileEncryptor struct{}
+
+// EncryptFile encrypts the file at path with pwd, writing salt‖IV‖ct back
+// to the same path.
+func (t *PBEFileEncryptor) EncryptFile(path string, pwd []rune) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	salt := make([]byte, 32)
+	iv := make([]byte, 12)
+	var key *gca.SecretKeySpec
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(salt, "out").
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(key).
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()
+	out := make([]byte, 0, len(salt)+len(iv)+len(ciphertext))
+	out = append(out, salt...)
+	out = append(out, iv...)
+	out = append(out, ciphertext...)
+	return os.WriteFile(path, out, 0o600)
+}
+
+// DecryptFile reverses EncryptFile on the file at path.
+func (t *PBEFileEncryptor) DecryptFile(path string, pwd []rune) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 44 {
+		return gca.ErrInvalidParameter
+	}
+	salt := data[:32]
+	iv := data[32:44]
+	body := data[44:]
+	mode := gca.DecryptMode
+	var key *gca.SecretKeySpec
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").AddParameter(salt, "salt").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(key).
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(mode, "encmode").AddParameter(key, "key").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return os.WriteFile(path, plaintext, 0o600)
+}

@@ -1,0 +1,72 @@
+//go:build cryptgen_template
+
+// Template: password-based encryption of strings (use case 2 of Table 1).
+// Glue code converts between strings and byte slices and hex-armors the
+// result; the cryptography is generated from GoCrySL rules.
+package pbestrings
+
+import (
+	"encoding/hex"
+	"strings"
+
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// PBEStringEncryptor encrypts and decrypts strings with a key derived from
+// a password. Ciphertexts are hex strings of the form "salt:iv:body".
+type PBEStringEncryptor struct{}
+
+// Encrypt encrypts plaintext with pwd.
+func (t *PBEStringEncryptor) Encrypt(plaintext string, pwd []rune) (string, error) {
+	data := []byte(plaintext)
+	salt := make([]byte, 32)
+	iv := make([]byte, 12)
+	var key *gca.SecretKeySpec
+	var ciphertext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.SecureRandom").AddParameter(salt, "out").
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(key).
+		ConsiderRule("gca.SecureRandom").AddParameter(iv, "out").
+		ConsiderRule("gca.IVParameterSpec").
+		ConsiderRule("gca.Cipher").AddParameter(key, "key").AddParameter(data, "input").
+		AddReturnObject(ciphertext).
+		Generate()
+	return hex.EncodeToString(salt) + ":" + hex.EncodeToString(iv) + ":" + hex.EncodeToString(ciphertext), nil
+}
+
+// Decrypt reverses Encrypt.
+func (t *PBEStringEncryptor) Decrypt(armored string, pwd []rune) (string, error) {
+	parts := strings.Split(armored, ":")
+	if len(parts) != 3 {
+		return "", gca.ErrInvalidParameter
+	}
+	salt, err := hex.DecodeString(parts[0])
+	if err != nil {
+		return "", err
+	}
+	iv, err := hex.DecodeString(parts[1])
+	if err != nil {
+		return "", err
+	}
+	body, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return "", err
+	}
+	mode := gca.DecryptMode
+	var key *gca.SecretKeySpec
+	var plaintext []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.PBEKeySpec").AddParameter(pwd, "password").AddParameter(salt, "salt").
+		ConsiderRule("gca.SecretKeyFactory").
+		ConsiderRule("gca.SecretKey").
+		ConsiderRule("gca.SecretKeySpec").AddReturnObject(key).
+		ConsiderRule("gca.IVParameterSpec").AddParameter(iv, "iv").
+		ConsiderRule("gca.Cipher").AddParameter(mode, "encmode").AddParameter(key, "key").AddParameter(body, "input").
+		AddReturnObject(plaintext).
+		Generate()
+	return string(plaintext), nil
+}

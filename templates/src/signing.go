@@ -1,0 +1,45 @@
+//go:build cryptgen_template
+
+// Template: digital signing of strings (use case 10 of Table 1) with
+// ECDSA over P-256.
+package signing
+
+import (
+	"cognicryptgen/gca"
+	cryslgen "cognicryptgen/gen/fluent"
+)
+
+// StringSigner signs strings and verifies their signatures.
+type StringSigner struct{}
+
+// GenerateKeyPair produces the signer's ECDSA key pair.
+func (t *StringSigner) GenerateKeyPair() (*gca.KeyPair, error) {
+	alg := "ECDSA"
+	var kp *gca.KeyPair
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPairGenerator").AddParameter(alg, "keyPairAlg").AddReturnObject(kp).
+		Generate()
+	return kp, nil
+}
+
+// Sign signs msg with the private half of kp.
+func (t *StringSigner) Sign(msg string, kp *gca.KeyPair) ([]byte, error) {
+	data := []byte(msg)
+	var signature []byte
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPair").AddParameter(kp, "this").
+		ConsiderRule("gca.Signature").AddParameter(data, "data").AddReturnObject(signature).
+		Generate()
+	return signature, nil
+}
+
+// Verify reports whether sig is kp's signature over msg.
+func (t *StringSigner) Verify(msg string, sig []byte, kp *gca.KeyPair) (bool, error) {
+	data := []byte(msg)
+	var valid bool
+	cryslgen.NewGenerator().
+		ConsiderRule("gca.KeyPair").AddParameter(kp, "this").
+		ConsiderRule("gca.Signature").AddParameter(data, "data").AddParameter(sig, "signature").AddReturnObject(valid).
+		Generate()
+	return valid, nil
+}
