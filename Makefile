@@ -1,0 +1,27 @@
+# Build/verify entry points. `make verify` is the gate every PR must pass.
+
+GO ?= go
+
+.PHONY: build test verify bench bench-service serve
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: build + vet + race-enabled tests (includes the 16-goroutine
+# concurrent-generation contracts in gen and service).
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# Measure the cryptgend daemon (cold vs warm, throughput, cache hit rate)
+# and record the numbers in BENCH_service.json.
+bench-service:
+	$(GO) run ./cmd/benchtables -table service -json BENCH_service.json
+
+serve:
+	$(GO) run ./cmd/cryptgend

@@ -1,11 +1,16 @@
 // Command benchtables regenerates the paper's evaluation tables from this
 // reproduction (experiment index in DESIGN.md):
 //
-//	benchtables -table 1     Table 1: use cases, generation runtime, memory
-//	benchtables -table 2     Table 2: artefact LOC, old-gen vs GEN
-//	benchtables -table rq1   RQ1: generation + verification + misuse scan
-//	benchtables -table rq5   RQ5: study-task effort proxy
-//	benchtables -table all   everything
+//	benchtables -table 1        Table 1: use cases, generation runtime, memory
+//	benchtables -table 2        Table 2: artefact LOC, old-gen vs GEN
+//	benchtables -table rq1      RQ1: generation + verification + misuse scan
+//	benchtables -table rq5      RQ5: study-task effort proxy
+//	benchtables -table service  cryptgend daemon: cold vs warm, throughput
+//	benchtables -table all      everything
+//
+// With -json FILE, -table service additionally writes the measured
+// daemon numbers (req/s, cache hit rate, cold/warm latency) to FILE
+// (conventionally BENCH_service.json).
 //
 // Runtime and memory come from repeated in-process runs (10 by default,
 // matching the paper's methodology of averaging ten runs); memory is the
@@ -14,11 +19,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"cognicryptgen/analysis"
@@ -26,14 +34,18 @@ import (
 	"cognicryptgen/gen"
 	"cognicryptgen/oldgen"
 	"cognicryptgen/rules"
+	"cognicryptgen/service"
 	"cognicryptgen/templates"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtables: ")
-	table := flag.String("table", "all", "which table to print: 1, 2, rq1, rq5, all")
+	table := flag.String("table", "all", "which table to print: 1, 2, rq1, rq5, service, all")
 	runs := flag.Int("runs", 10, "runs per use case for Table 1 averaging")
+	jsonOut := flag.String("json", "", "write the service benchmark as JSON to this file (e.g. BENCH_service.json)")
+	clients := flag.Int("clients", 2*runtime.NumCPU(), "concurrent clients for the service throughput benchmark")
+	requests := flag.Int("requests", 50, "requests per client for the service throughput benchmark")
 	flag.Parse()
 
 	switch *table {
@@ -45,6 +57,8 @@ func main() {
 		rq1()
 	case "rq5":
 		rq5()
+	case "service":
+		serviceBench(*clients, *requests, *jsonOut)
 	case "all":
 		table1(*runs)
 		fmt.Println()
@@ -53,6 +67,8 @@ func main() {
 		rq1()
 		fmt.Println()
 		rq5()
+		fmt.Println()
+		serviceBench(*clients, *requests, *jsonOut)
 	default:
 		log.Fatalf("unknown table %q", *table)
 	}
@@ -189,6 +205,143 @@ func rq5() {
 	fmt.Println("paper (human study, 16 participants — reported, not re-measured):")
 	fmt.Printf("  SUS: GEN %.1f vs old-gen %.1f; NPS: GEN %.1f vs old-gen %.1f\n", p.SUSGen, p.SUSOld, p.NPSGen, p.NPSOld)
 	fmt.Printf("  completion time: encryption task %s; hashing task %s\n", p.EncryptionTaskGenDelta, p.HashingTaskGenDelta)
+}
+
+// serviceBenchResult is the JSON shape written to BENCH_service.json.
+type serviceBenchResult struct {
+	ColdSingleShotMS float64 `json:"cold_single_shot_ms"`
+	WarmCachedMS     float64 `json:"warm_cached_ms"`
+	WarmUncachedMS   float64 `json:"warm_uncached_ms"`
+	Speedup          float64 `json:"cold_vs_warm_speedup"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	Clients          int     `json:"clients"`
+	Requests         int     `json:"total_requests"`
+	UseCases         int     `json:"use_cases"`
+	Workers          int     `json:"workers"`
+	Fingerprint      string  `json:"ruleset_fingerprint"`
+}
+
+// serviceBench measures the cryptgend daemon (S19): cold one-shot
+// generation vs the warm service (compiled-rule registry + result cache),
+// and sustained throughput with concurrent clients round-robining over all
+// 13 embedded use cases.
+func serviceBench(clients, perClient int, jsonPath string) {
+	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
+	uc := cases[2] // PBE on byte-arrays, the paper's running example
+
+	// Cold: what every cmd/cryptgen invocation pays — compile all 14
+	// rules, build a Generator (type-check the gca façade), generate.
+	src, err := templates.Source(uc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const coldRuns = 3
+	coldStart := time.Now()
+	for i := 0; i < coldRuns; i++ {
+		rs, err := rules.LoadFresh()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := gen.New(rs, "", gen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := g.GenerateFile(uc.File, src); err != nil {
+			log.Fatal(err)
+		}
+	}
+	coldMS := float64(time.Since(coldStart)) / float64(time.Millisecond) / coldRuns
+
+	workers := runtime.NumCPU()
+	srv, err := service.New(service.Config{Workers: workers, CacheSize: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Warm the registry, worker generators, and result cache.
+	for _, c := range cases {
+		if _, err := srv.Generate(ctx, service.GenerateRequest{UseCase: c.ID}); err != nil {
+			log.Fatalf("use case %d: %v", c.ID, err)
+		}
+	}
+
+	// Warm cached latency: repeated identical request.
+	const warmRuns = 200
+	warmStart := time.Now()
+	for i := 0; i < warmRuns; i++ {
+		if _, err := srv.Generate(ctx, service.GenerateRequest{UseCase: uc.ID}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	warmMS := float64(time.Since(warmStart)) / float64(time.Millisecond) / warmRuns
+
+	// Warm uncached latency: unique template names defeat the result
+	// cache but keep the compiled-rule registry and path cache.
+	const uncachedRuns = 10
+	uncachedStart := time.Now()
+	for i := 0; i < uncachedRuns; i++ {
+		req := service.GenerateRequest{Name: fmt.Sprintf("uniq%d.go", i), Source: src}
+		if _, err := srv.Generate(ctx, req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	uncachedMS := float64(time.Since(uncachedStart)) / float64(time.Millisecond) / uncachedRuns
+
+	// Throughput: clients × perClient requests over all 13 use cases.
+	var wg sync.WaitGroup
+	thrStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := cases[(c+i)%len(cases)].ID
+				if _, err := srv.Generate(ctx, service.GenerateRequest{UseCase: id}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	thrSecs := time.Since(thrStart).Seconds()
+	total := clients * perClient
+	rps := float64(total) / thrSecs
+
+	m := srv.MetricsSnapshot()
+	hitRate, _ := m["cache_hit_rate"].(float64)
+	res := serviceBenchResult{
+		ColdSingleShotMS: coldMS,
+		WarmCachedMS:     warmMS,
+		WarmUncachedMS:   uncachedMS,
+		Speedup:          coldMS / warmMS,
+		ThroughputRPS:    rps,
+		CacheHitRate:     hitRate,
+		Clients:          clients,
+		Requests:         total,
+		UseCases:         len(cases),
+		Workers:          workers,
+		Fingerprint:      srv.Registry().Snapshot().Fingerprint,
+	}
+
+	fmt.Println("Service (cryptgend daemon): cold one-shot vs warm long-lived process")
+	fmt.Printf("  cold single-shot (rules+generator+generate): %10.2f ms\n", res.ColdSingleShotMS)
+	fmt.Printf("  warm, result cache hit:                      %10.4f ms  (%.0fx speedup)\n", res.WarmCachedMS, res.Speedup)
+	fmt.Printf("  warm, cache miss (registry only):            %10.2f ms\n", res.WarmUncachedMS)
+	fmt.Printf("  throughput: %d clients x %d reqs over %d use cases: %.0f req/s (cache hit rate %.1f%%)\n",
+		clients, perClient, len(cases), res.ThroughputRPS, 100*res.CacheHitRate)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
 }
 
 // baseline generation sanity (referenced by -table all consumers that want

@@ -1,0 +1,91 @@
+// Command cryptgend is the CogniCryptGEN generation daemon: the full
+// pipeline (rule compilation, path enumeration, generation, verification,
+// misuse analysis) behind a long-running HTTP JSON API.
+//
+//	cryptgend                          serve on :8572 with one worker per CPU
+//	cryptgend -addr :9000 -workers 8   custom listen address and pool size
+//	cryptgend -timeout 10s -cache 512  request timeout, result-cache entries
+//
+// Endpoints:
+//
+//	POST /v1/generate   {"usecase": 3} or {"name": "t.go", "source": "..."}
+//	POST /v1/analyze    {"name": "f.go", "source": "..."}
+//	POST /v1/reload     recompile the rule set, invalidating caches
+//	GET  /v1/rules      compiled rules + rule-set fingerprint
+//	GET  /v1/templates  embedded use-case templates
+//	GET  /healthz       liveness + rule-set fingerprint
+//	GET  /metrics       request/cache/latency counters
+//
+// The daemon compiles the embedded rule set once at startup and shares the
+// immutable result across all workers; repeated generations are served
+// from an LRU result cache. SIGINT/SIGTERM trigger a graceful drain:
+// the listener stops accepting, in-flight and queued requests finish, then
+// the process exits.
+//
+// cryptgend must run inside the cognicryptgen module (or point -dir at
+// it), because generated code is type-checked against the module's gca
+// package.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cognicryptgen/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cryptgend: ")
+	addr := flag.String("addr", ":8572", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size")
+	queue := flag.Int("queue", 0, "pending-job queue size (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	cacheSize := flag.Int("cache", 256, "result cache entries")
+	dir := flag.String("dir", "", "module directory (default: working directory)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Dir:            *dir,
+		Workers:        *workers,
+		QueueSize:      *queue,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := srv.Registry().Snapshot()
+	log.Printf("serving on %s: %d rules (fingerprint %.12s), %d workers, timeout %s",
+		*addr, snap.Rules.Len(), snap.Fingerprint, *workers, *timeout)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("drained, exiting")
+}

@@ -1,0 +1,63 @@
+package crysl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a hex SHA-256 digest identifying the compiled rule
+// set: the sorted specified types, each rule's event table (labels, method
+// names, arities), aggregate expansion, predicate sections, and the
+// canonical form of its ORDER automaton. Two rule sets compiled from the
+// same sources always share a fingerprint; any change to a rule's events,
+// predicates, or ORDER pattern changes it.
+//
+// Long-running services key caches by this value so that cached generation
+// results are invalidated when the rule set is reloaded with different
+// content (and survive reloads that re-compile identical sources).
+func (s *RuleSet) Fingerprint() string {
+	h := sha256.New()
+	types := append([]string(nil), s.order...)
+	sort.Strings(types)
+	for _, t := range types {
+		r := s.byType[t]
+		fmt.Fprintf(h, "rule;%s\n", t)
+		labels := make([]string, 0, len(r.Events))
+		for l := range r.Events {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			ev := r.Events[l]
+			fmt.Fprintf(h, "event;%s;%s;%d;%s\n", l, ev.Method, len(ev.Params), ev.Result)
+		}
+		aggs := make([]string, 0, len(r.Aggregates))
+		for a := range r.Aggregates {
+			aggs = append(aggs, a)
+		}
+		sort.Strings(aggs)
+		for _, a := range aggs {
+			fmt.Fprintf(h, "agg;%s;%v\n", a, r.Aggregates[a])
+		}
+		for _, e := range r.AST.Ensures {
+			fmt.Fprintf(h, "ensures;%s;%d;%s\n", e.Name, len(e.Params), e.AfterLabel)
+		}
+		for _, e := range r.AST.Negates {
+			fmt.Fprintf(h, "negates;%s;%d;%s\n", e.Name, len(e.Params), e.AfterLabel)
+		}
+		for _, e := range r.AST.Requires {
+			fmt.Fprintf(h, "requires;%s;%d\n", e.Name, len(e.Params))
+		}
+		for _, f := range r.AST.Forbidden {
+			fmt.Fprintf(h, "forbidden;%s;%d;%t;%s\n", f.Method, len(f.Params), f.HasParams, f.Replacement)
+		}
+		fmt.Fprintf(h, "constraints;%d\n", len(r.AST.Constraints))
+		for _, c := range r.AST.Constraints {
+			fmt.Fprintf(h, "constraint;%s\n", c.String())
+		}
+		r.DFA.WriteCanonical(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -143,7 +143,7 @@ func (st *chainState) suppressUnused() {
 // generateInvocation selects a path for one rule invocation, resolves its
 // parameters, and emits its statements.
 func (g *Generator) generateInvocation(tmpl *Template, m *TemplateMethod, inv *Invocation, idx int, rule *crysl.Rule, links []link, st *chainState, rr *RuleReport, report *Report) error {
-	paths := rule.DFA.AcceptingPaths(g.opts.MaxPaths)
+	paths := g.acceptingPaths(rule)
 	if len(paths) == 0 {
 		return fmt.Errorf("ORDER pattern has no accepting path")
 	}

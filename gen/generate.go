@@ -45,6 +45,12 @@ type Options struct {
 	Verify bool
 	// MaxPaths bounds accepting-path enumeration per rule (0 = 512).
 	MaxPaths int
+	// Paths, when non-nil, memoizes per-rule accepting-path enumeration.
+	// A single PathCache may be shared by many Generators over the same
+	// immutable rule set (see NewPathCache); the service registry does
+	// exactly that so paths are enumerated once per process, not once per
+	// generation.
+	Paths *PathCache
 
 	// Ablation switches (all default off = full algorithm). They exist for
 	// the E7 ablation benchmarks documented in DESIGN.md.
@@ -55,8 +61,19 @@ type Options struct {
 }
 
 // Generator turns code templates into secure implementations.
-// A Generator is not safe for concurrent use: it threads the current
-// chain's object pool through generation.
+//
+// A Generator is NOT safe for concurrent use: it threads the current
+// chain's object pool (curPool) through generation, and its srccheck
+// importer caches type-checked packages under a lock but records positions
+// in a shared token.FileSet. Concurrent servers run one Generator per
+// worker.
+//
+// The inputs a Generator reads, however, are safe to share: a compiled
+// *crysl.RuleSet is immutable after loading (rules, events, aggregates,
+// objects, and DFAs are built once and only read afterwards), and a
+// *PathCache is internally synchronized. Any number of Generators in any
+// number of goroutines may therefore share one rule set and one path
+// cache; TestConcurrentGeneration enforces this with the race detector.
 type Generator struct {
 	rules   *crysl.RuleSet
 	checker *srccheck.Checker
@@ -92,6 +109,26 @@ func New(ruleSet *crysl.RuleSet, dir string, opts Options) (*Generator, error) {
 
 // Rules returns the generator's rule set.
 func (g *Generator) Rules() *crysl.RuleSet { return g.rules }
+
+// WithOptions returns a Generator sharing this one's compiled rule set,
+// type-checker, and API model, but running under opts. Construction is
+// O(1) — no re-import of the crypto façade — which lets a long-lived
+// worker keep one expensive base Generator and derive per-request variants
+// (package name override, verification on/off) for free. The derived
+// Generator shares the base's importer cache and FileSet, so it follows
+// the same rule as the base: use from one goroutine at a time, and not
+// concurrently with the base.
+func (g *Generator) WithOptions(opts Options) *Generator {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 512
+	}
+	return &Generator{
+		rules:   g.rules,
+		checker: g.checker,
+		api:     g.api,
+		opts:    opts,
+	}
+}
 
 // Result is the outcome of generating one template.
 type Result struct {
@@ -244,7 +281,7 @@ func (g *Generator) computeLinks(tmpl *Template, m *TemplateMethod, chain *Chain
 // filters.
 func (g *Generator) feasibleVars(tmpl *Template, m *TemplateMethod, rule *crysl.Rule, inv *Invocation) map[string]bool {
 	out := map[string]bool{}
-	for _, p := range rule.DFA.AcceptingPaths(g.opts.MaxPaths) {
+	for _, p := range g.acceptingPaths(rule) {
 		if !g.opts.NoBindingFilter && !pathCoversBindings(rule, p, inv) {
 			continue
 		}

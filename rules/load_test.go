@@ -1,0 +1,65 @@
+package rules
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLoadReturnsSamePointer pins Load's sync.Once contract: every call
+// returns the identical *crysl.RuleSet, including calls racing from many
+// goroutines.
+func TestLoadReturnsSamePointer(t *testing.T) {
+	first, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("Load returned distinct pointers across calls: %p vs %p", first, second)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := Load()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if s != first {
+				t.Errorf("concurrent Load returned a different pointer: %p vs %p", s, first)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLoadFreshIsUncached pins LoadFresh's contract: each call compiles a
+// distinct rule set, and never aliases Load's cached one.
+func TestLoadFreshIsUncached(t *testing.T) {
+	cached := MustLoad()
+	a, err := LoadFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("LoadFresh returned the same pointer twice")
+	}
+	if a == cached || b == cached {
+		t.Fatal("LoadFresh aliased Load's cached rule set")
+	}
+	// Distinct compiles of identical sources agree on the fingerprint.
+	if a.Fingerprint() != b.Fingerprint() || a.Fingerprint() != cached.Fingerprint() {
+		t.Fatal("fingerprints of identical rule sources disagree")
+	}
+}

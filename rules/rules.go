@@ -20,8 +20,13 @@ var (
 	setErr error
 )
 
-// Load parses and compiles the embedded gca rule set. The result is cached
-// after the first call; the returned RuleSet must be treated as read-only.
+// Load parses and compiles the embedded gca rule set exactly once per
+// process, under a sync.Once: every call — from any goroutine, in any
+// order — returns the same *crysl.RuleSet pointer (or the same error, if
+// the first compilation failed). The returned set is immutable and safe
+// for unlimited concurrent readers; callers must treat it as read-only.
+// Long-lived services build on this contract to share one compiled set
+// across all workers. Use LoadFresh for an explicitly uncached compile.
 func Load() (*crysl.RuleSet, error) {
 	once.Do(func() {
 		set, setErr = crysl.LoadFS(ruleFS, "gca")
@@ -39,8 +44,12 @@ func MustLoad() *crysl.RuleSet {
 	return s
 }
 
-// LoadFresh parses the embedded rules without the package-level cache.
-// Benchmarks use it to measure full parse+compile cost per iteration.
+// LoadFresh is the explicit uncached path: it parses and compiles the
+// embedded rules from scratch on every call and never touches Load's
+// sync.Once cache, so each call returns a distinct *crysl.RuleSet.
+// Benchmarks use it to measure full parse+compile cost per iteration, and
+// the service registry uses it to rebuild the rule set on /v1/reload
+// without disturbing other holders of the cached set.
 func LoadFresh() (*crysl.RuleSet, error) {
 	return crysl.LoadFS(ruleFS, "gca")
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the repo's one-command verification gate:
+#   build everything, vet everything, run all tests under the race
+#   detector (the gen/service concurrency contracts are race tests).
+#
+# Usage: ./scripts/verify.sh [extra go-test args]
+# Run from anywhere; it cds to the module root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "==> verify OK"

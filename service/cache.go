@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// cacheKey derives the result-cache key: the rule-set fingerprint (so a
+// reload with different rules invalidates everything), a hash of the
+// template source, and every option that influences the output.
+func cacheKey(fingerprint, name, source, pkg string, verify bool) string {
+	srcSum := sha256.Sum256([]byte(source))
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%t", fingerprint, name, hex.EncodeToString(srcSum[:]), pkg, verify)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is a mutex-guarded LRU of generation responses. Entries are
+// stored by value and returned by value, so callers may mark their copy
+// (Cached: true) without racing other requests.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp GenerateResponse
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+}
+
+func (c *resultCache) get(key string) (GenerateResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return GenerateResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *resultCache) put(key string, resp GenerateResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

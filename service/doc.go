@@ -1,0 +1,35 @@
+// Package service turns the CogniCryptGEN pipeline (DESIGN.md S1–S12) into
+// a long-running, concurrent generation daemon — the engine behind
+// cmd/cryptgend.
+//
+// The one-shot CLIs (cmd/cryptgen, cmd/cryptanalyze) re-parse, re-compile,
+// and re-minimize all fourteen embedded rules' ORDER automata on every
+// invocation, and re-enumerate each rule's accepting paths once per
+// generated chain. A process that serves many requests can do all of that
+// exactly once. The package is built from four pieces:
+//
+//   - Registry (registry.go): parses and compiles the embedded rule set
+//     once at startup, fingerprints it (crysl.RuleSet.Fingerprint), warms a
+//     shared gen.PathCache with every rule's accepting-path enumeration,
+//     and swaps in a freshly compiled set atomically on Reload.
+//
+//   - Pool (pool.go): a bounded worker pool. Each worker owns its own
+//     gen.Generator and analysis.Analyzer (a Generator is not safe for
+//     concurrent use) while all workers share the registry's immutable
+//     rule set and path cache. Jobs carry a context; expired jobs are
+//     failed without being run, and Close drains queued jobs before
+//     returning (graceful SIGTERM shutdown).
+//
+//   - resultCache (cache.go): an LRU over generation results keyed by
+//     (template-source hash, rule-set fingerprint, options), so repeated
+//     generations of the embedded use cases are served from memory.
+//
+//   - Server (server.go): the HTTP JSON API — POST /v1/generate,
+//     POST /v1/analyze, POST /v1/reload, GET /v1/rules, GET /v1/templates,
+//     GET /healthz, GET /metrics — with expvar-typed counters (requests,
+//     cache hits/misses, queue depth, p50/p99 latency) behind /metrics.
+//
+// Generation through the service is byte-identical to cmd/cryptgen: both
+// run the same Generator over the same compiled rules; the service merely
+// amortises rule compilation and path enumeration and adds caching.
+package service

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the sliding window over which latency quantiles are
+// computed.
+const latencyWindow = 1024
+
+// metrics aggregates the daemon's counters. The counters are expvar.Int
+// values (lock-free atomics) but are deliberately NOT published to the
+// global expvar registry — expvar.Publish panics on duplicate names, which
+// would forbid running several Servers in one process (tests, embedding).
+// GET /metrics serves a JSON snapshot instead.
+type metrics struct {
+	requests    expvar.Int // all HTTP requests
+	generates   expvar.Int // POST /v1/generate
+	analyzes    expvar.Int // POST /v1/analyze
+	errors      expvar.Int // responses with status >= 400
+	timeouts    expvar.Int // 503s from context expiry
+	cacheHits   expvar.Int
+	cacheMisses expvar.Int
+	reloads     expvar.Int
+
+	mu        sync.Mutex
+	latencies []time.Duration // ring buffer, most recent latencyWindow
+	next      int
+	filled    bool
+}
+
+func newMetrics() *metrics {
+	return &metrics{latencies: make([]time.Duration, latencyWindow)}
+}
+
+// observe records one request latency into the sliding window.
+func (m *metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.latencies[m.next] = d
+	m.next++
+	if m.next == len(m.latencies) {
+		m.next = 0
+		m.filled = true
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the current latency window (zeros
+// when nothing was observed yet).
+func (m *metrics) quantiles() (p50, p99 time.Duration) {
+	m.mu.Lock()
+	n := m.next
+	if m.filled {
+		n = len(m.latencies)
+	}
+	window := append([]time.Duration(nil), m.latencies[:n]...)
+	m.mu.Unlock()
+	if len(window) == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := func(q float64) int {
+		i := int(q * float64(len(window)-1))
+		return i
+	}
+	return window[idx(0.50)], window[idx(0.99)]
+}
+
+// snapshot renders all counters for GET /metrics.
+func (m *metrics) snapshot(queueDepth, cacheEntries int) map[string]any {
+	p50, p99 := m.quantiles()
+	hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return map[string]any{
+		"requests":          m.requests.Value(),
+		"generate_requests": m.generates.Value(),
+		"analyze_requests":  m.analyzes.Value(),
+		"errors":            m.errors.Value(),
+		"timeouts":          m.timeouts.Value(),
+		"cache_hits":        hits,
+		"cache_misses":      misses,
+		"cache_hit_rate":    hitRate,
+		"cache_entries":     cacheEntries,
+		"reloads":           m.reloads.Value(),
+		"queue_depth":       queueDepth,
+		"latency_p50_ms":    float64(p50) / float64(time.Millisecond),
+		"latency_p99_ms":    float64(p99) / float64(time.Millisecond),
+	}
+}

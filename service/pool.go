@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"cognicryptgen/analysis"
+	"cognicryptgen/gen"
+)
+
+// ErrClosed is returned by Submit after the pool began shutting down.
+var ErrClosed = errors.New("service: pool is shut down")
+
+// task is one unit of work executed on a pool worker. The worker argument
+// exposes the per-worker Generator/Analyzer, already rebuilt against the
+// current registry snapshot.
+type task func(w *Worker) (any, error)
+
+type job struct {
+	ctx  context.Context
+	fn   task
+	done chan jobResult
+}
+
+type jobResult struct {
+	v   any
+	err error
+}
+
+// Pool is a bounded worker pool over the registry. Each worker owns one
+// gen.Generator and one analysis.Analyzer — a Generator is not safe for
+// concurrent use — while the compiled rule set and path cache are shared
+// through the registry snapshot, which is safe for concurrent readers.
+type Pool struct {
+	registry *Registry
+	dir      string
+	jobs     chan *job
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closing  sync.Once
+}
+
+// NewPool starts workers goroutines consuming from a queue of queueSize
+// pending jobs. dir locates the module for template type-checking ("" =
+// working directory).
+func NewPool(registry *Registry, dir string, workers, queueSize int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueSize < 1 {
+		queueSize = workers * 4
+	}
+	p := &Pool{
+		registry: registry,
+		dir:      dir,
+		jobs:     make(chan *job, queueSize),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// QueueDepth reports the number of submitted jobs not yet picked up by a
+// worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// Submit enqueues fn and waits for its result. It fails with ctx.Err()
+// when the context expires while the job is queued (the job is then
+// skipped by the worker, not run) and with ErrClosed once the pool is
+// shutting down.
+func (p *Pool) Submit(ctx context.Context, fn task) (any, error) {
+	select {
+	case <-p.done:
+		return nil, ErrClosed
+	default:
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan jobResult, 1)}
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-j.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		// The worker may still run (or skip) the job; the buffered done
+		// channel lets it complete without a receiver.
+		return nil, ctx.Err()
+	}
+}
+
+// Close initiates graceful drain: no new submissions are accepted, queued
+// jobs are completed, then workers exit. Close blocks until the drain is
+// finished and is safe to call more than once.
+func (p *Pool) Close() {
+	p.closing.Do(func() { close(p.done) })
+	p.wg.Wait()
+	// A Submit racing the shutdown may have enqueued after the workers
+	// finished draining; fail those jobs instead of leaving their callers
+	// to wait out their context deadlines.
+	for {
+		select {
+		case j := <-p.jobs:
+			j.done <- jobResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	w := &Worker{pool: p}
+	for {
+		select {
+		case j := <-p.jobs:
+			w.run(j)
+		case <-p.done:
+			// Drain whatever was queued before shutdown began.
+			for {
+				select {
+				case j := <-p.jobs:
+					w.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Worker is the per-goroutine execution state handed to tasks.
+type Worker struct {
+	pool     *Pool
+	snap     *Snapshot
+	base     *gen.Generator
+	analyzer *analysis.Analyzer
+}
+
+func (w *Worker) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.done <- jobResult{err: err}
+		return
+	}
+	if err := w.refresh(); err != nil {
+		j.done <- jobResult{err: err}
+		return
+	}
+	v, err := j.fn(w)
+	j.done <- jobResult{v: v, err: err}
+}
+
+// refresh rebuilds the worker's Generator (and drops its Analyzer) when
+// the registry snapshot changed since the last job. In the steady state
+// this is a single pointer comparison.
+func (w *Worker) refresh() error {
+	snap := w.pool.registry.Snapshot()
+	if w.snap == snap && w.base != nil {
+		return nil
+	}
+	base, err := gen.New(snap.Rules, w.pool.dir, gen.Options{Paths: snap.Paths})
+	if err != nil {
+		return err
+	}
+	w.snap = snap
+	w.base = base
+	w.analyzer = nil
+	return nil
+}
+
+// Snapshot returns the registry snapshot the worker is currently built
+// against.
+func (w *Worker) Snapshot() *Snapshot { return w.snap }
+
+// Generator returns a Generator over the worker's snapshot running under
+// opts (the shared path cache is always wired in). The returned Generator
+// is valid for the duration of the current task only.
+func (w *Worker) Generator(opts gen.Options) *gen.Generator {
+	opts.Paths = w.snap.Paths
+	return w.base.WithOptions(opts)
+}
+
+// Analyzer returns the worker's misuse analyzer, built lazily on first
+// use after each snapshot change.
+func (w *Worker) Analyzer() (*analysis.Analyzer, error) {
+	if w.analyzer == nil {
+		an, err := analysis.New(w.snap.Rules, w.pool.dir, analysis.Options{})
+		if err != nil {
+			return nil, err
+		}
+		w.analyzer = an
+	}
+	return w.analyzer, nil
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"cognicryptgen/crysl"
+	"cognicryptgen/gen"
+	"cognicryptgen/rules"
+)
+
+// defaultMaxPaths mirrors gen.Options' MaxPaths default so the warmed path
+// cache is hit by generators running with default options.
+const defaultMaxPaths = 512
+
+// Snapshot is one immutable compiled-rule-set generation. All requests
+// running against the same Snapshot share its rule set and path cache;
+// Reload produces a new Snapshot without disturbing in-flight requests.
+type Snapshot struct {
+	// Rules is the compiled rule set. Immutable; safe for any number of
+	// concurrent readers.
+	Rules *crysl.RuleSet
+	// Fingerprint is Rules.Fingerprint(), computed once at load.
+	Fingerprint string
+	// Paths memoizes per-rule accepting-path enumeration, shared by every
+	// Generator built over this snapshot.
+	Paths *gen.PathCache
+	// Version increments on every (re)load, letting workers detect that
+	// their cached Generator was built over a stale snapshot.
+	Version uint64
+}
+
+// Registry owns the current rule-set snapshot. Load cost (lex, parse,
+// semantic checks, NFA construction, determinization, minimization — for
+// all fourteen rules) is paid once per process instead of once per
+// request, and again only on explicit Reload.
+type Registry struct {
+	loader func() (*crysl.RuleSet, error)
+
+	mu   sync.RWMutex
+	snap *Snapshot
+}
+
+// NewRegistry compiles the initial snapshot using loader (nil = the
+// embedded gca rule set via rules.LoadFresh).
+func NewRegistry(loader func() (*crysl.RuleSet, error)) (*Registry, error) {
+	if loader == nil {
+		loader = rules.LoadFresh
+	}
+	r := &Registry{loader: loader}
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Snapshot returns the current snapshot. The result must be treated as
+// read-only (its fields already are).
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.snap
+}
+
+// Reload compiles a fresh rule set and atomically swaps it in. In-flight
+// requests keep the snapshot they started with; new requests see the new
+// one. The new snapshot's path cache is warmed eagerly so the first
+// request after a reload pays no enumeration cost.
+func (r *Registry) Reload() (*Snapshot, error) {
+	set, err := r.loader()
+	if err != nil {
+		return nil, fmt.Errorf("service: compiling rule set: %w", err)
+	}
+	paths := gen.NewPathCache()
+	for _, rule := range set.Rules() {
+		paths.Paths(rule, defaultMaxPaths)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var version uint64 = 1
+	if r.snap != nil {
+		version = r.snap.Version + 1
+	}
+	r.snap = &Snapshot{
+		Rules:       set,
+		Fingerprint: set.Fingerprint(),
+		Paths:       paths,
+		Version:     version,
+	}
+	return r.snap, nil
+}

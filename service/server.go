@@ -1,0 +1,471 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"cognicryptgen/analysis"
+	"cognicryptgen/crysl"
+	"cognicryptgen/gen"
+	"cognicryptgen/templates"
+)
+
+// Config tunes a Server. The zero value is usable: it serves the embedded
+// rule set with one worker per CPU and a 30-second request timeout.
+type Config struct {
+	// Dir locates the module for template type-checking ("" = working
+	// directory; the daemon must run inside the cognicryptgen module).
+	Dir string
+	// Workers is the worker-pool size (0 = runtime.NumCPU).
+	Workers int
+	// QueueSize bounds pending jobs (0 = 4×Workers). When the queue is
+	// full, submissions wait until space frees or their context expires.
+	QueueSize int
+	// RequestTimeout caps per-request processing time (0 = 30s). Requests
+	// that expire while queued are answered 503 without running.
+	RequestTimeout time.Duration
+	// CacheSize bounds the generation result cache (0 = 256 entries).
+	CacheSize int
+	// Loader compiles the rule set at startup and on /v1/reload (nil =
+	// the embedded gca rules).
+	Loader func() (*crysl.RuleSet, error)
+}
+
+// Server is the generation daemon: registry + worker pool + result cache
+// behind an HTTP JSON API. Create with New, expose via Handler, stop with
+// Close.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	pool     *Pool
+	cache    *resultCache
+	metrics  *metrics
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New compiles the rule set, warms the path cache, and starts the worker
+// pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	registry, err := NewRegistry(cfg.Loader)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: registry,
+		pool:     NewPool(registry, cfg.Dir, cfg.Workers, cfg.QueueSize),
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/rules", s.handleRules)
+	s.mux.HandleFunc("/v1/templates", s.handleTemplates)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close drains the worker pool: queued requests finish, new submissions
+// fail with 503. Call after the HTTP listener stopped accepting.
+func (s *Server) Close() { s.pool.Close() }
+
+// Registry exposes the server's rule registry (tests, embedding).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// GenerateRequest is the body of POST /v1/generate. Exactly one of Source
+// or UseCase selects the template.
+type GenerateRequest struct {
+	// Name labels the template in diagnostics and reports (default
+	// "template.go", or the use case's file name).
+	Name string `json:"name,omitempty"`
+	// Source is the template source text.
+	Source string `json:"source,omitempty"`
+	// UseCase selects an embedded Table 1 / extension template by ID
+	// (1-13) instead of Source.
+	UseCase int `json:"usecase,omitempty"`
+	// Package overrides the output package name.
+	Package string `json:"package,omitempty"`
+	// Verify type-checks the generated file before responding.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// GenerateResponse is the body of a successful POST /v1/generate.
+type GenerateResponse struct {
+	Name        string      `json:"name"`
+	Output      string      `json:"output"`
+	Report      *ReportJSON `json:"report,omitempty"`
+	Fingerprint string      `json:"ruleset_fingerprint"`
+	Cached      bool        `json:"cached"`
+	DurationMS  float64     `json:"duration_ms"`
+}
+
+// ReportJSON mirrors gen.Report for the wire.
+type ReportJSON struct {
+	Template    string              `json:"template"`
+	Methods     []*MethodReportJSON `json:"methods,omitempty"`
+	Assumptions []string            `json:"assumptions,omitempty"`
+	PushedUp    []string            `json:"pushed_up,omitempty"`
+}
+
+// MethodReportJSON mirrors gen.MethodReport.
+type MethodReportJSON struct {
+	Name  string            `json:"name"`
+	Rules []*RuleReportJSON `json:"rules,omitempty"`
+}
+
+// RuleReportJSON mirrors gen.RuleReport.
+type RuleReportJSON struct {
+	Rule        string   `json:"rule"`
+	Path        []string `json:"path"`
+	Resolutions []string `json:"resolutions,omitempty"`
+}
+
+func reportJSON(r *gen.Report) *ReportJSON {
+	if r == nil {
+		return nil
+	}
+	out := &ReportJSON{
+		Template:    r.Template,
+		Assumptions: r.Assumptions,
+		PushedUp:    r.PushedUp,
+	}
+	for _, m := range r.Methods {
+		mj := &MethodReportJSON{Name: m.Name}
+		for _, rr := range m.Rules {
+			mj.Rules = append(mj.Rules, &RuleReportJSON{Rule: rr.Rule, Path: rr.Path, Resolutions: rr.Resolutions})
+		}
+		out.Methods = append(out.Methods, mj)
+	}
+	return out
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Name        string         `json:"name"`
+	Findings    []*FindingJSON `json:"findings"`
+	Assumptions []string       `json:"assumptions,omitempty"`
+	Fingerprint string         `json:"ruleset_fingerprint"`
+	DurationMS  float64        `json:"duration_ms"`
+}
+
+// FindingJSON mirrors analysis.Finding for the wire.
+type FindingJSON struct {
+	Kind     string `json:"kind"`
+	Rule     string `json:"rule"`
+	Function string `json:"function"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		s.metrics.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// failStatus maps a pipeline error to an HTTP status: context expiry and
+// pool shutdown are 503 (retryable), everything else — malformed
+// templates, rule violations — is the client's 400.
+func (s *Server) failStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.timeouts.Add(1)
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.generates.Add(1)
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.UseCase != 0 && req.Source != "" {
+		s.writeError(w, http.StatusBadRequest, "source and usecase are mutually exclusive")
+		return
+	}
+	start := time.Now()
+	defer func() { s.metrics.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.Generate(ctx, req)
+	if err != nil {
+		s.writeError(w, s.failStatus(err), "generate: %v", err)
+		return
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.analyzes.Add(1)
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "need source")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "input.go"
+	}
+
+	start := time.Now()
+	defer func() { s.metrics.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
+		an, err := worker.Analyzer()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := an.AnalyzeSource(name, req.Source)
+		if err != nil {
+			return nil, err
+		}
+		resp := AnalyzeResponse{
+			Name:        name,
+			Findings:    []*FindingJSON{},
+			Assumptions: rep.Assumptions,
+			Fingerprint: worker.Snapshot().Fingerprint,
+		}
+		for _, f := range rep.Findings {
+			resp.Findings = append(resp.Findings, &FindingJSON{
+				Kind:     f.Kind.String(),
+				Rule:     f.Rule,
+				Function: f.Function,
+				Position: f.Pos.String(),
+				Message:  f.Message,
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeError(w, s.failStatus(err), "analyze %s: %v", name, err)
+		return
+	}
+	resp := v.(AnalyzeResponse)
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	snap, err := s.registry.Reload()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	s.metrics.reloads.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ruleset_fingerprint": snap.Fingerprint,
+		"version":             snap.Version,
+		"rules":               snap.Rules.Len(),
+	})
+}
+
+// ruleInfo is one row of GET /v1/rules.
+type ruleInfo struct {
+	Spec           string `json:"spec"`
+	Events         int    `json:"events"`
+	DFAStates      int    `json:"dfa_states"`
+	AcceptingPaths int    `json:"accepting_paths"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := s.registry.Snapshot()
+	rules := make([]ruleInfo, 0, snap.Rules.Len())
+	for _, rule := range snap.Rules.Rules() {
+		rules = append(rules, ruleInfo{
+			Spec:           rule.SpecType(),
+			Events:         len(rule.Events),
+			DFAStates:      rule.DFA.NumStates,
+			AcceptingPaths: len(snap.Paths.Paths(rule, defaultMaxPaths)),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ruleset_fingerprint": snap.Fingerprint,
+		"version":             snap.Version,
+		"rules":               rules,
+	})
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	type tmplInfo struct {
+		ID      int      `json:"id"`
+		Name    string   `json:"name"`
+		File    string   `json:"file"`
+		Sources []string `json:"sources,omitempty"`
+	}
+	var out []tmplInfo
+	for _, uc := range append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...) {
+		out = append(out, tmplInfo{ID: uc.ID, Name: uc.Name, File: uc.File, Sources: uc.Sources})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"templates": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.registry.Snapshot()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":              "ok",
+		"uptime_s":            time.Since(s.started).Seconds(),
+		"workers":             s.cfg.Workers,
+		"rules":               snap.Rules.Len(),
+		"ruleset_fingerprint": snap.Fingerprint,
+		"ruleset_version":     snap.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// MetricsSnapshot returns the current counters as served by GET /metrics
+// (benchmark harnesses consume this without going through HTTP).
+func (s *Server) MetricsSnapshot() map[string]any {
+	return s.metrics.snapshot(s.pool.QueueDepth(), s.cache.len())
+}
+
+// Analyze runs the analyzer in-process, bypassing HTTP (used by the
+// benchmark harness and embedders).
+func (s *Server) Analyze(ctx context.Context, name, src string) (*analysis.Report, error) {
+	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
+		an, err := worker.Analyzer()
+		if err != nil {
+			return nil, err
+		}
+		return an.AnalyzeSource(name, src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*analysis.Report), nil
+}
+
+// Generate runs one generation in-process, bypassing HTTP but using the
+// same pool and cache (used by the benchmark harness and embedders).
+func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateResponse, error) {
+	name, src := req.Name, req.Source
+	if req.UseCase != 0 {
+		uc, err := templates.ByID(req.UseCase)
+		if err != nil {
+			return GenerateResponse{}, err
+		}
+		ucSrc, err := templates.Source(uc)
+		if err != nil {
+			return GenerateResponse{}, err
+		}
+		name, src = uc.File, ucSrc
+	}
+	if name == "" {
+		name = "template.go"
+	}
+	if strings.TrimSpace(src) == "" {
+		return GenerateResponse{}, errors.New("service: need source or usecase")
+	}
+	snap := s.registry.Snapshot()
+	key := cacheKey(snap.Fingerprint, name, src, req.Package, req.Verify)
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
+		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
+		res, err := g.GenerateFile(name, src)
+		if err != nil {
+			return nil, err
+		}
+		return GenerateResponse{
+			Name:        name,
+			Output:      res.Output,
+			Report:      reportJSON(res.Report),
+			Fingerprint: worker.Snapshot().Fingerprint,
+		}, nil
+	})
+	if err != nil {
+		return GenerateResponse{}, err
+	}
+	resp := v.(GenerateResponse)
+	s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
+	return resp, nil
+}
