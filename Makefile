@@ -11,7 +11,8 @@ test:
 	$(GO) test ./...
 
 # Full gate: build + vet + race-enabled tests (includes the 16-goroutine
-# concurrent-generation contracts in gen and service).
+# concurrent-generation contracts in gen and service), the Submit/Close
+# shutdown stress test, and a benchtables service smoke run.
 verify:
 	./scripts/verify.sh
 

@@ -46,8 +46,12 @@ func main() {
 	jsonOut := flag.String("json", "", "write the service benchmark as JSON to this file (e.g. BENCH_service.json)")
 	clients := flag.Int("clients", 2*runtime.NumCPU(), "concurrent clients for the service throughput benchmark")
 	requests := flag.Int("requests", 50, "requests per client for the service throughput benchmark")
+	smoke := flag.Bool("smoke", false, "fast service-table run for CI gating: fewer clients, requests, and repetitions")
 	flag.Parse()
 
+	if *smoke {
+		*clients, *requests = 2, 3
+	}
 	switch *table {
 	case "1":
 		table1(*runs)
@@ -58,7 +62,7 @@ func main() {
 	case "rq5":
 		rq5()
 	case "service":
-		serviceBench(*clients, *requests, *jsonOut)
+		serviceBench(*clients, *requests, *jsonOut, *smoke)
 	case "all":
 		table1(*runs)
 		fmt.Println()
@@ -68,7 +72,7 @@ func main() {
 		fmt.Println()
 		rq5()
 		fmt.Println()
-		serviceBench(*clients, *requests, *jsonOut)
+		serviceBench(*clients, *requests, *jsonOut, *smoke)
 	default:
 		log.Fatalf("unknown table %q", *table)
 	}
@@ -214,6 +218,10 @@ type serviceBenchResult struct {
 	WarmUncachedMS   float64 `json:"warm_uncached_ms"`
 	Speedup          float64 `json:"cold_vs_warm_speedup"`
 	ThroughputRPS    float64 `json:"throughput_rps"`
+	BatchItemsPerS   float64 `json:"batch_items_per_s"`
+	BatchItems       int     `json:"batch_items"`
+	Coalesced        int64   `json:"coalesced_requests"`
+	CoalesceClients  int     `json:"coalesce_clients"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	Clients          int     `json:"clients"`
 	Requests         int     `json:"total_requests"`
@@ -224,11 +232,17 @@ type serviceBenchResult struct {
 
 // serviceBench measures the cryptgend daemon (S19): cold one-shot
 // generation vs the warm service (compiled-rule registry + result cache),
-// and sustained throughput with concurrent clients round-robining over all
-// 13 embedded use cases.
-func serviceBench(clients, perClient int, jsonPath string) {
+// sustained throughput with concurrent clients round-robining over all 13
+// embedded use cases, batch-endpoint throughput, and singleflight
+// coalescing. smoke trims every repetition count for CI gating.
+func serviceBench(clients, perClient int, jsonPath string, smoke bool) {
 	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
 	uc := cases[2] // PBE on byte-arrays, the paper's running example
+
+	coldRuns, warmRuns, uncachedRuns, batchRounds := 3, 200, 10, 20
+	if smoke {
+		coldRuns, warmRuns, uncachedRuns, batchRounds = 1, 20, 2, 2
+	}
 
 	// Cold: what every cmd/cryptgen invocation pays — compile all 14
 	// rules, build a Generator (type-check the gca façade), generate.
@@ -236,7 +250,6 @@ func serviceBench(clients, perClient int, jsonPath string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	const coldRuns = 3
 	coldStart := time.Now()
 	for i := 0; i < coldRuns; i++ {
 		rs, err := rules.LoadFresh()
@@ -251,7 +264,7 @@ func serviceBench(clients, perClient int, jsonPath string) {
 			log.Fatal(err)
 		}
 	}
-	coldMS := float64(time.Since(coldStart)) / float64(time.Millisecond) / coldRuns
+	coldMS := float64(time.Since(coldStart)) / float64(time.Millisecond) / float64(coldRuns)
 
 	workers := runtime.NumCPU()
 	srv, err := service.New(service.Config{Workers: workers, CacheSize: 64})
@@ -269,18 +282,16 @@ func serviceBench(clients, perClient int, jsonPath string) {
 	}
 
 	// Warm cached latency: repeated identical request.
-	const warmRuns = 200
 	warmStart := time.Now()
 	for i := 0; i < warmRuns; i++ {
 		if _, err := srv.Generate(ctx, service.GenerateRequest{UseCase: uc.ID}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	warmMS := float64(time.Since(warmStart)) / float64(time.Millisecond) / warmRuns
+	warmMS := float64(time.Since(warmStart)) / float64(time.Millisecond) / float64(warmRuns)
 
 	// Warm uncached latency: unique template names defeat the result
 	// cache but keep the compiled-rule registry and path cache.
-	const uncachedRuns = 10
 	uncachedStart := time.Now()
 	for i := 0; i < uncachedRuns; i++ {
 		req := service.GenerateRequest{Name: fmt.Sprintf("uniq%d.go", i), Source: src}
@@ -288,7 +299,7 @@ func serviceBench(clients, perClient int, jsonPath string) {
 			log.Fatal(err)
 		}
 	}
-	uncachedMS := float64(time.Since(uncachedStart)) / float64(time.Millisecond) / uncachedRuns
+	uncachedMS := float64(time.Since(uncachedStart)) / float64(time.Millisecond) / float64(uncachedRuns)
 
 	// Throughput: clients × perClient requests over all 13 use cases.
 	var wg sync.WaitGroup
@@ -310,6 +321,56 @@ func serviceBench(clients, perClient int, jsonPath string) {
 	total := clients * perClient
 	rps := float64(total) / thrSecs
 
+	// Batch endpoint: whole-catalogue batches (all 13 use cases per
+	// request), measuring fan-out overhead per item on a warm cache.
+	var batchItems int
+	batchStart := time.Now()
+	for i := 0; i < batchRounds; i++ {
+		var breq service.BatchRequest
+		for _, c := range cases {
+			breq.Requests = append(breq.Requests, service.GenerateRequest{UseCase: c.ID})
+		}
+		bresp, err := srv.GenerateBatch(ctx, breq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bresp.Failed > 0 {
+			log.Fatalf("batch round %d: %d items failed", i, bresp.Failed)
+		}
+		batchItems += len(bresp.Results)
+	}
+	batchItemsPerS := float64(batchItems) / time.Since(batchStart).Seconds()
+
+	// Coalescing: concurrent identical cache misses collapse into one
+	// generation through the singleflight layer. A fresh server is used so
+	// the leader's generation includes the first worker's Generator warm-up:
+	// long enough that the followers are scheduled while the leader is still
+	// in flight, even on a single-core machine where a short warm generation
+	// would complete within one scheduling quantum.
+	cosrv, err := service.New(service.Config{Workers: workers, CacheSize: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const coalesceClients = 8
+	coStart := make(chan struct{})
+	var coWG sync.WaitGroup
+	for i := 0; i < coalesceClients; i++ {
+		coWG.Add(1)
+		go func() {
+			defer coWG.Done()
+			<-coStart
+			req := service.GenerateRequest{Name: "coalesce_bench.go", Source: src}
+			if _, err := cosrv.Generate(ctx, req); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	close(coStart)
+	coWG.Wait()
+	com := cosrv.MetricsSnapshot()
+	coalesced, _ := com["coalesced"].(int64)
+	cosrv.Close()
+
 	m := srv.MetricsSnapshot()
 	hitRate, _ := m["cache_hit_rate"].(float64)
 	res := serviceBenchResult{
@@ -318,6 +379,10 @@ func serviceBench(clients, perClient int, jsonPath string) {
 		WarmUncachedMS:   uncachedMS,
 		Speedup:          coldMS / warmMS,
 		ThroughputRPS:    rps,
+		BatchItemsPerS:   batchItemsPerS,
+		BatchItems:       batchItems,
+		Coalesced:        coalesced,
+		CoalesceClients:  coalesceClients,
 		CacheHitRate:     hitRate,
 		Clients:          clients,
 		Requests:         total,
@@ -332,6 +397,10 @@ func serviceBench(clients, perClient int, jsonPath string) {
 	fmt.Printf("  warm, cache miss (registry only):            %10.2f ms\n", res.WarmUncachedMS)
 	fmt.Printf("  throughput: %d clients x %d reqs over %d use cases: %.0f req/s (cache hit rate %.1f%%)\n",
 		clients, perClient, len(cases), res.ThroughputRPS, 100*res.CacheHitRate)
+	fmt.Printf("  batch: %d rounds x %d use cases per request: %.0f items/s\n",
+		batchRounds, len(cases), res.BatchItemsPerS)
+	fmt.Printf("  coalescing: %d concurrent identical misses -> %d coalesced (1 generation)\n",
+		coalesceClients, res.Coalesced)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

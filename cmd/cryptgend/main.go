@@ -8,19 +8,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/generate   {"usecase": 3} or {"name": "t.go", "source": "..."}
-//	POST /v1/analyze    {"name": "f.go", "source": "..."}
-//	POST /v1/reload     recompile the rule set, invalidating caches
-//	GET  /v1/rules      compiled rules + rule-set fingerprint
-//	GET  /v1/templates  embedded use-case templates
-//	GET  /healthz       liveness + rule-set fingerprint
-//	GET  /metrics       request/cache/latency counters
+//	POST /v1/generate        {"usecase": 3} or {"name": "t.go", "source": "..."}
+//	POST /v1/generate/batch  {"requests": [{"usecase": 1}, ...]} fan-out, partial success
+//	POST /v1/analyze         {"name": "f.go", "source": "..."}
+//	POST /v1/reload          recompile the rule set, invalidating caches
+//	GET  /v1/rules           compiled rules + rule-set fingerprint
+//	GET  /v1/templates       embedded use-case templates
+//	GET  /healthz            liveness + rule-set fingerprint
+//	GET  /metrics            request/cache/coalescing/latency counters
 //
 // The daemon compiles the embedded rule set once at startup and shares the
 // immutable result across all workers; repeated generations are served
-// from an LRU result cache. SIGINT/SIGTERM trigger a graceful drain:
-// the listener stops accepting, in-flight and queued requests finish, then
-// the process exits.
+// from an LRU result cache, and concurrent identical cache misses are
+// coalesced into a single generation (singleflight). Cancelled or expired
+// requests stop mid-pipeline at the next workflow-step boundary instead of
+// holding their worker. SIGINT/SIGTERM trigger a graceful drain: the
+// listener stops accepting, in-flight and queued requests finish, then the
+// process exits.
 //
 // cryptgend must run inside the cognicryptgen module (or point -dir at
 // it), because generated code is type-checked against the module's gca

@@ -24,6 +24,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"go/types"
 	"sort"
@@ -35,6 +36,12 @@ import (
 	"cognicryptgen/crysl/constraint"
 	"cognicryptgen/internal/srccheck"
 )
+
+// DefaultMaxPaths is the per-rule bound on accepting-path enumeration
+// applied when Options.MaxPaths is zero. Long-lived processes that warm a
+// shared PathCache (the service registry) must use the same bound, or the
+// warmed entries are never hit by default-option Generators.
+const DefaultMaxPaths = 512
 
 // Options configures a Generator.
 type Options struct {
@@ -97,7 +104,7 @@ func New(ruleSet *crysl.RuleSet, dir string, opts Options) (*Generator, error) {
 		return nil, fmt.Errorf("gen: loading crypto façade: %w", err)
 	}
 	if opts.MaxPaths == 0 {
-		opts.MaxPaths = 512
+		opts.MaxPaths = DefaultMaxPaths
 	}
 	return &Generator{
 		rules:   ruleSet,
@@ -120,7 +127,7 @@ func (g *Generator) Rules() *crysl.RuleSet { return g.rules }
 // concurrently with the base.
 func (g *Generator) WithOptions(opts Options) *Generator {
 	if opts.MaxPaths == 0 {
-		opts.MaxPaths = 512
+		opts.MaxPaths = DefaultMaxPaths
 	}
 	return &Generator{
 		rules:   g.rules,
@@ -164,7 +171,21 @@ type RuleReport struct {
 // GenerateFile runs the full pipeline on template source text. name is
 // used for diagnostics only.
 func (g *Generator) GenerateFile(name, src string) (*Result, error) {
+	return g.GenerateFileCtx(context.Background(), name, src)
+}
+
+// GenerateFileCtx is GenerateFile with cooperative cancellation: ctx is
+// checked between workflow steps (after template type-checking, before each
+// chain, before usage synthesis, and before output verification), so a
+// request cancelled or expired mid-flight stops consuming its worker at the
+// next step boundary instead of running the pipeline to completion. The
+// returned error wraps ctx.Err() and satisfies errors.Is against
+// context.Canceled / context.DeadlineExceeded.
+func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (*Result, error) {
 	start := time.Now()
+	if err := cancelled(ctx, name, "template type-check"); err != nil {
+		return nil, err
+	}
 	file, pkg, info, err := g.checker.CheckSource(name, src)
 	if err != nil {
 		return nil, fmt.Errorf("gen: template %s does not type-check: %w", name, err)
@@ -182,6 +203,9 @@ func (g *Generator) GenerateFile(name, src string) (*Result, error) {
 		report.Methods = append(report.Methods, mr)
 		methodNames := newNames(m) // shared across the method's chains
 		for _, chain := range m.Chains {
+			if err := cancelled(ctx, name, "chain generation"); err != nil {
+				return nil, err
+			}
 			code, err := g.generateChain(tmpl, m, chain, methodNames, mr, report)
 			if err != nil {
 				return nil, fmt.Errorf("gen: %s.%s: %w", tmpl.StructName, m.Decl.Name.Name, err)
@@ -193,6 +217,9 @@ func (g *Generator) GenerateFile(name, src string) (*Result, error) {
 		}
 	}
 
+	if err := cancelled(ctx, name, "usage synthesis"); err != nil {
+		return nil, err
+	}
 	usage, err := g.synthesizeUsage(tmpl)
 	if err != nil {
 		return nil, err
@@ -202,12 +229,24 @@ func (g *Generator) GenerateFile(name, src string) (*Result, error) {
 		return nil, err
 	}
 	if g.opts.Verify {
+		if err := cancelled(ctx, name, "output verification"); err != nil {
+			return nil, err
+		}
 		if _, _, _, err := g.checker.CheckSource("generated_"+name, out); err != nil {
 			return nil, fmt.Errorf("gen: generated code failed verification (this is a generator bug): %w", err)
 		}
 	}
 	report.Duration = time.Since(start)
 	return &Result{Output: out, Report: report}, nil
+}
+
+// cancelled maps an expired context to a diagnosable error naming the
+// workflow step that was about to run.
+func cancelled(ctx context.Context, name, step string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("gen: %s: cancelled before %s: %w", name, step, err)
+	}
+	return nil
 }
 
 // link is an ENSURES→REQUIRES connection between two invocations of a

@@ -19,25 +19,47 @@ import (
 //
 // The zero value is not usable; call NewPathCache.
 type PathCache struct {
-	mu sync.RWMutex
-	m  map[pathKey][][]string
+	mu  sync.RWMutex
+	m   map[pathKey][][]string
+	fps map[*crysl.Rule]string // memoized DFA fingerprints (rules are immutable)
 }
 
+// pathKey identifies one memoized enumeration. Entries are keyed by the
+// rule's DFA fingerprint, not its SPEC name: two same-named rules whose
+// ORDER automata differ (edited rule sources across /v1/reload snapshots,
+// rule variants in tests) must never share paths — a spec-name key would
+// silently serve one variant's accepting paths for the other.
 type pathKey struct {
-	specType string
+	dfa      string
 	maxPaths int
 }
 
 // NewPathCache returns an empty, concurrency-safe path cache.
 func NewPathCache() *PathCache {
-	return &PathCache{m: map[pathKey][][]string{}}
+	return &PathCache{m: map[pathKey][][]string{}, fps: map[*crysl.Rule]string{}}
+}
+
+// fingerprint returns rule.DFA.Fingerprint(), memoized per rule pointer so
+// the canonical DFA rendering is hashed once, not once per lookup.
+func (c *PathCache) fingerprint(rule *crysl.Rule) string {
+	c.mu.RLock()
+	fp, ok := c.fps[rule]
+	c.mu.RUnlock()
+	if ok {
+		return fp
+	}
+	fp = rule.DFA.Fingerprint()
+	c.mu.Lock()
+	c.fps[rule] = fp
+	c.mu.Unlock()
+	return fp
 }
 
 // Paths returns the accepting paths of the rule's DFA under the maxPaths
 // bound, computing and memoizing them on first use. Callers must not
 // modify the returned slices.
 func (c *PathCache) Paths(rule *crysl.Rule, maxPaths int) [][]string {
-	key := pathKey{rule.SpecType(), maxPaths}
+	key := pathKey{c.fingerprint(rule), maxPaths}
 	c.mu.RLock()
 	paths, ok := c.m[key]
 	c.mu.RUnlock()

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"cognicryptgen/crysl"
+)
+
+// pcRuleSrc builds two rules that share the SPEC name but differ in ORDER
+// — the shape a shared PathCache sees when a /v1/reload swaps in edited
+// rule sources while an old cache is still reachable.
+const pcRuleA = `SPEC gca.MessageDigest
+
+OBJECTS
+    string hashAlg;
+    []byte input;
+    []byte digest;
+
+EVENTS
+    c1: NewMessageDigest(hashAlg);
+    u1: Update(input);
+    d1: digest := Digest();
+
+ORDER
+    c1, u1, d1
+
+CONSTRAINTS
+    hashAlg in {"SHA-256"};
+
+ENSURES
+    hashed[digest, input] after d1;
+`
+
+const pcRuleB = `SPEC gca.MessageDigest
+
+OBJECTS
+    string hashAlg;
+    []byte input;
+    []byte digest;
+
+EVENTS
+    c1: NewMessageDigest(hashAlg);
+    u1: Update(input);
+    d1: digest := Digest();
+
+ORDER
+    c1, u1?, d1
+
+CONSTRAINTS
+    hashAlg in {"SHA-256"};
+
+ENSURES
+    hashed[digest, input] after d1;
+`
+
+func pcRule(t *testing.T, src string) *crysl.Rule {
+	t.Helper()
+	r, err := crysl.ParseRule("test.crysl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPathCacheDistinguishesSameNamedRules is the staleness regression for
+// the spec-name cache key: two same-named rules whose ORDER automata
+// differ must each get their own accepting paths from a shared cache —
+// never the other variant's memoized entry.
+func TestPathCacheDistinguishesSameNamedRules(t *testing.T) {
+	ruleA := pcRule(t, pcRuleA)
+	ruleB := pcRule(t, pcRuleB)
+	if ruleA.SpecType() != ruleB.SpecType() {
+		t.Fatalf("test setup: spec types differ: %q vs %q", ruleA.SpecType(), ruleB.SpecType())
+	}
+	cache := NewPathCache()
+	pa := cache.Paths(ruleA, DefaultMaxPaths)
+	pb := cache.Paths(ruleB, DefaultMaxPaths)
+	wantA := ruleA.DFA.AcceptingPaths(DefaultMaxPaths)
+	wantB := ruleB.DFA.AcceptingPaths(DefaultMaxPaths)
+	if !reflect.DeepEqual(pa, wantA) {
+		t.Errorf("rule A paths = %v, want %v", pa, wantA)
+	}
+	if !reflect.DeepEqual(pb, wantB) {
+		t.Errorf("rule B served stale paths: got %v, want %v", pb, wantB)
+	}
+	if reflect.DeepEqual(pa, pb) {
+		t.Fatal("test setup: the two ORDER variants enumerate identical paths; pick diverging automata")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries for two distinct automata, want 2", cache.Len())
+	}
+}
+
+// TestPathCacheSharesIdenticalAutomata: independently compiled but
+// identical rules share one entry — keying by DFA fingerprint, not rule
+// pointer.
+func TestPathCacheSharesIdenticalAutomata(t *testing.T) {
+	ruleA := pcRule(t, pcRuleA)
+	ruleA2 := pcRule(t, pcRuleA)
+	cache := NewPathCache()
+	pa := cache.Paths(ruleA, DefaultMaxPaths)
+	pa2 := cache.Paths(ruleA2, DefaultMaxPaths)
+	if !reflect.DeepEqual(pa, pa2) {
+		t.Errorf("identical automata enumerate differently: %v vs %v", pa, pa2)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries for identical automata, want 1", cache.Len())
+	}
+}

@@ -18,4 +18,14 @@ go vet ./...
 echo "==> go test -race ./... $*"
 go test -race "$@" ./...
 
+# The Submit/Close shutdown race regressed silently once; keep it pinned
+# with an extra repetition beyond the package run above.
+echo "==> shutdown stress (Submit vs Close under -race)"
+go test -race -run 'TestPoolSubmitCloseStress' -count=2 ./service
+
+# Smoke the daemon benchmark end to end (batch + coalescing tables
+# included) without the full measurement repetitions.
+echo "==> benchtables service smoke"
+go run ./cmd/benchtables -table service -smoke
+
 echo "==> verify OK"

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBatchItems bounds one POST /v1/generate/batch request. Large client
+// workloads split into multiple batches rather than one unbounded fan-out.
+const maxBatchItems = 256
+
+// BatchRequest is the body of POST /v1/generate/batch. Every item is
+// generated concurrently across the worker pool; items share the
+// whole-batch deadline (the server's request timeout), optionally
+// tightened per item by ItemTimeoutMS.
+type BatchRequest struct {
+	Requests []GenerateRequest `json:"requests"`
+	// ItemTimeoutMS, when positive, caps each item's generation time
+	// inside the whole-batch deadline, so one pathological template cannot
+	// spend the entire batch budget.
+	ItemTimeoutMS int `json:"item_timeout_ms,omitempty"`
+}
+
+// BatchItem is one per-item outcome. Items succeed and fail independently
+// (partial success): a malformed template fails its own slot while its
+// siblings generate.
+type BatchItem struct {
+	Index    int               `json:"index"`
+	OK       bool              `json:"ok"`
+	Response *GenerateResponse `json:"response,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	// Status is the HTTP status the item would have received as a lone
+	// /v1/generate request (400 client error, 503 timeout/shutdown).
+	Status int `json:"status,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/generate/batch. The
+// HTTP status is 200 whenever the batch itself was well-formed, even if
+// every item failed; clients inspect per-item OK/Status.
+type BatchResponse struct {
+	Results    []BatchItem `json:"results"`
+	Succeeded  int         `json:"succeeded"`
+	Failed     int         `json:"failed"`
+	DurationMS float64     `json:"duration_ms"`
+}
+
+// GenerateBatch fans req.Requests out across the worker pool and collects
+// per-item results (used by POST /v1/generate/batch, the benchmark
+// harness, and embedders). Identical items coalesce through the same
+// singleflight/cache path as single requests, so a batch of N duplicates
+// costs one generation.
+func (s *Server) GenerateBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	if len(req.Requests) == 0 {
+		return BatchResponse{}, errors.New("service: batch needs at least one request")
+	}
+	if len(req.Requests) > maxBatchItems {
+		return BatchResponse{}, fmt.Errorf("service: batch of %d requests exceeds the %d-item limit", len(req.Requests), maxBatchItems)
+	}
+	results := make([]BatchItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i, r := range req.Requests {
+		wg.Add(1)
+		go func(i int, r GenerateRequest) {
+			defer wg.Done()
+			itemCtx, cancel := ctx, context.CancelFunc(func() {})
+			if req.ItemTimeoutMS > 0 {
+				itemCtx, cancel = context.WithTimeout(ctx, time.Duration(req.ItemTimeoutMS)*time.Millisecond)
+			}
+			defer cancel()
+			resp, err := s.Generate(itemCtx, r)
+			if err != nil {
+				results[i] = BatchItem{Index: i, Error: err.Error(), Status: s.failStatus(err)}
+				return
+			}
+			results[i] = BatchItem{Index: i, OK: true, Response: &resp}
+		}(i, r)
+	}
+	wg.Wait()
+	out := BatchResponse{Results: results}
+	for _, r := range results {
+		if r.OK {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleGenerateBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.batches.Add(1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	start := time.Now()
+	defer func() { s.metrics.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.GenerateBatch(ctx, req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "generate batch: %v", err)
+		return
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.writeJSON(w, http.StatusOK, resp)
+}

@@ -16,18 +16,27 @@
 //   - Pool (pool.go): a bounded worker pool. Each worker owns its own
 //     gen.Generator and analysis.Analyzer (a Generator is not safe for
 //     concurrent use) while all workers share the registry's immutable
-//     rule set and path cache. Jobs carry a context; expired jobs are
-//     failed without being run, and Close drains queued jobs before
-//     returning (graceful SIGTERM shutdown).
+//     rule set and path cache. Jobs carry a context that is propagated
+//     into the generation pipeline (gen.GenerateFileCtx), so work that is
+//     cancelled while queued is skipped and work cancelled mid-flight
+//     stops at the next workflow-step boundary. Submissions and shutdown
+//     are fenced by an RWMutex so a Submit racing Close either lands
+//     before the workers' final drain or fails with ErrClosed — never
+//     strands a job. Close drains queued jobs before returning (graceful
+//     SIGTERM shutdown).
 //
-//   - resultCache (cache.go): an LRU over generation results keyed by
-//     (template-source hash, rule-set fingerprint, options), so repeated
-//     generations of the embedded use cases are served from memory.
+//   - resultCache (cache.go) + flightGroup (singleflight.go): an LRU over
+//     generation results keyed by (template-source hash, rule-set
+//     fingerprint, options), fronted by singleflight coalescing — N
+//     concurrent identical cache misses submit exactly one generation and
+//     the followers wait for the leader's result.
 //
-//   - Server (server.go): the HTTP JSON API — POST /v1/generate,
-//     POST /v1/analyze, POST /v1/reload, GET /v1/rules, GET /v1/templates,
-//     GET /healthz, GET /metrics — with expvar-typed counters (requests,
-//     cache hits/misses, queue depth, p50/p99 latency) behind /metrics.
+//   - Server (server.go, batch.go): the HTTP JSON API — POST /v1/generate,
+//     POST /v1/generate/batch (concurrent fan-out with per-item results
+//     and partial success), POST /v1/analyze, POST /v1/reload,
+//     GET /v1/rules, GET /v1/templates, GET /healthz, GET /metrics — with
+//     expvar-typed counters (requests, cache hits/misses, coalesced,
+//     queue depth, nearest-rank p50/p99 latency) behind /metrics.
 //
 // Generation through the service is byte-identical to cmd/cryptgen: both
 // run the same Generator over the same compiled rules; the service merely

@@ -2,6 +2,7 @@ package service
 
 import (
 	"expvar"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -19,11 +20,13 @@ const latencyWindow = 1024
 type metrics struct {
 	requests    expvar.Int // all HTTP requests
 	generates   expvar.Int // POST /v1/generate
+	batches     expvar.Int // POST /v1/generate/batch
 	analyzes    expvar.Int // POST /v1/analyze
 	errors      expvar.Int // responses with status >= 400
 	timeouts    expvar.Int // 503s from context expiry
 	cacheHits   expvar.Int
 	cacheMisses expvar.Int
+	coalesced   expvar.Int // requests served by joining an in-flight generation
 	reloads     expvar.Int
 
 	mu        sync.Mutex
@@ -62,8 +65,18 @@ func (m *metrics) quantiles() (p50, p99 time.Duration) {
 		return 0, 0
 	}
 	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	// Nearest-rank (ceil) quantiles: the q-quantile is the smallest sample
+	// with at least a q fraction of the window at or below it. The old
+	// floor-based index truncated toward the small samples — on a 2-sample
+	// window int(0.99*1) = 0 reported the *smaller* sample as the p99.
 	idx := func(q float64) int {
-		i := int(q * float64(len(window)-1))
+		i := int(math.Ceil(q*float64(len(window)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(window) {
+			i = len(window) - 1
+		}
 		return i
 	}
 	return window[idx(0.50)], window[idx(0.99)]
@@ -80,6 +93,7 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) map[string]any {
 	return map[string]any{
 		"requests":          m.requests.Value(),
 		"generate_requests": m.generates.Value(),
+		"batch_requests":    m.batches.Value(),
 		"analyze_requests":  m.analyzes.Value(),
 		"errors":            m.errors.Value(),
 		"timeouts":          m.timeouts.Value(),
@@ -87,6 +101,7 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) map[string]any {
 		"cache_misses":      misses,
 		"cache_hit_rate":    hitRate,
 		"cache_entries":     cacheEntries,
+		"coalesced":         m.coalesced.Value(),
 		"reloads":           m.reloads.Value(),
 		"queue_depth":       queueDepth,
 		"latency_p50_ms":    float64(p50) / float64(time.Millisecond),

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantilesNearestRank pins the quantile estimator to nearest-rank
+// (ceil) semantics on small windows. The old floor-based index made the
+// p99 of a 2-sample window the *smaller* sample.
+func TestQuantilesNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name     string
+		observed []time.Duration
+		p50, p99 time.Duration
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []time.Duration{ms(7)}, ms(7), ms(7)},
+		{"two samples", []time.Duration{ms(1), ms(100)}, ms(1), ms(100)},
+		{"three samples", []time.Duration{ms(30), ms(10), ms(20)}, ms(20), ms(30)},
+		{"hundred", nil, ms(50), ms(99)},
+	}
+	for i := 1; i <= 100; i++ {
+		cases[4].observed = append(cases[4].observed, ms(i))
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMetrics()
+			for _, d := range tc.observed {
+				m.observe(d)
+			}
+			p50, p99 := m.quantiles()
+			if p50 != tc.p50 {
+				t.Errorf("p50 = %v, want %v", p50, tc.p50)
+			}
+			if p99 != tc.p99 {
+				t.Errorf("p99 = %v, want %v", p99, tc.p99)
+			}
+		})
+	}
+}
+
+// TestQuantilesWindowWrap: the ring buffer serves the most recent
+// latencyWindow observations once filled.
+func TestQuantilesWindowWrap(t *testing.T) {
+	m := newMetrics()
+	for i := 0; i < latencyWindow; i++ {
+		m.observe(time.Hour) // old epoch, fully overwritten below
+	}
+	for i := 0; i < latencyWindow; i++ {
+		m.observe(time.Millisecond)
+	}
+	p50, p99 := m.quantiles()
+	if p50 != time.Millisecond || p99 != time.Millisecond {
+		t.Errorf("p50/p99 = %v/%v after wrap, want 1ms/1ms", p50, p99)
+	}
+}

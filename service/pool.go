@@ -12,10 +12,13 @@ import (
 // ErrClosed is returned by Submit after the pool began shutting down.
 var ErrClosed = errors.New("service: pool is shut down")
 
-// task is one unit of work executed on a pool worker. The worker argument
-// exposes the per-worker Generator/Analyzer, already rebuilt against the
-// current registry snapshot.
-type task func(w *Worker) (any, error)
+// task is one unit of work executed on a pool worker. ctx is the
+// submitting request's context — tasks are expected to propagate it into
+// the generation pipeline (gen.GenerateFileCtx) so mid-flight cancellation
+// frees the worker at the next step boundary. The worker argument exposes
+// the per-worker Generator/Analyzer, already rebuilt against the current
+// registry snapshot.
+type task func(ctx context.Context, w *Worker) (any, error)
 
 type job struct {
 	ctx  context.Context
@@ -39,6 +42,15 @@ type Pool struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 	closing  sync.Once
+
+	// sendMu fences job-channel sends against shutdown: Submit enqueues
+	// under the read side after checking closed; Close flips closed under
+	// the write side before closing done. Acquiring the write lock
+	// therefore waits out every in-flight enqueue, so no job can land in
+	// the queue after the workers' final drain — the window that used to
+	// strand a deadline-less caller forever.
+	sendMu sync.RWMutex
+	closed bool
 }
 
 // NewPool starts workers goroutines consuming from a queue of queueSize
@@ -73,18 +85,21 @@ func (p *Pool) QueueDepth() int { return len(p.jobs) }
 // skipped by the worker, not run) and with ErrClosed once the pool is
 // shutting down.
 func (p *Pool) Submit(ctx context.Context, fn task) (any, error) {
-	select {
-	case <-p.done:
-		return nil, ErrClosed
-	default:
-	}
 	j := &job{ctx: ctx, fn: fn, done: make(chan jobResult, 1)}
+	p.sendMu.RLock()
+	if p.closed {
+		p.sendMu.RUnlock()
+		return nil, ErrClosed
+	}
+	// Blocking on a full queue while holding the read lock is safe: the
+	// workers keep consuming until done closes, and done cannot close while
+	// this read lock is held (Close needs the write lock first).
 	select {
 	case p.jobs <- j:
+		p.sendMu.RUnlock()
 	case <-ctx.Done():
+		p.sendMu.RUnlock()
 		return nil, ctx.Err()
-	case <-p.done:
-		return nil, ErrClosed
 	}
 	select {
 	case r := <-j.done:
@@ -100,11 +115,19 @@ func (p *Pool) Submit(ctx context.Context, fn task) (any, error) {
 // jobs are completed, then workers exit. Close blocks until the drain is
 // finished and is safe to call more than once.
 func (p *Pool) Close() {
-	p.closing.Do(func() { close(p.done) })
+	p.closing.Do(func() {
+		// Order matters: closed is flipped under the write lock BEFORE done
+		// closes, so every enqueue either completed first (and the workers'
+		// final drain runs it) or observes closed and fails with ErrClosed.
+		p.sendMu.Lock()
+		p.closed = true
+		p.sendMu.Unlock()
+		close(p.done)
+	})
 	p.wg.Wait()
-	// A Submit racing the shutdown may have enqueued after the workers
-	// finished draining; fail those jobs instead of leaving their callers
-	// to wait out their context deadlines.
+	// Safety net: with the sendMu fence no job can be enqueued after the
+	// workers' final drain, so this loop is normally empty; fail anything
+	// here rather than leaving a caller to wait out its context deadline.
 	for {
 		select {
 		case j := <-p.jobs:
@@ -153,7 +176,7 @@ func (w *Worker) run(j *job) {
 		j.done <- jobResult{err: err}
 		return
 	}
-	v, err := j.fn(w)
+	v, err := j.fn(j.ctx, w)
 	j.done <- jobResult{v: v, err: err}
 }
 

@@ -9,10 +9,6 @@ import (
 	"cognicryptgen/rules"
 )
 
-// defaultMaxPaths mirrors gen.Options' MaxPaths default so the warmed path
-// cache is hit by generators running with default options.
-const defaultMaxPaths = 512
-
 // Snapshot is one immutable compiled-rule-set generation. All requests
 // running against the same Snapshot share its rule set and path cache;
 // Reload produces a new Snapshot without disturbing in-flight requests.
@@ -71,9 +67,12 @@ func (r *Registry) Reload() (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: compiling rule set: %w", err)
 	}
+	// Warm with gen's own default bound: a generator running with default
+	// options looks paths up under exactly this key, so the warmed entries
+	// cannot silently stop matching if the default ever changes.
 	paths := gen.NewPathCache()
 	for _, rule := range set.Rules() {
-		paths.Paths(rule, defaultMaxPaths)
+		paths.Paths(rule, gen.DefaultMaxPaths)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

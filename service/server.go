@@ -45,6 +45,7 @@ type Server struct {
 	registry *Registry
 	pool     *Pool
 	cache    *resultCache
+	flights  *flightGroup
 	metrics  *metrics
 	mux      *http.ServeMux
 	started  time.Time
@@ -71,11 +72,13 @@ func New(cfg Config) (*Server, error) {
 		registry: registry,
 		pool:     NewPool(registry, cfg.Dir, cfg.Workers, cfg.QueueSize),
 		cache:    newResultCache(cfg.CacheSize),
+		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/generate/batch", s.handleGenerateBatch)
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/rules", s.handleRules)
@@ -124,7 +127,10 @@ type GenerateResponse struct {
 	Report      *ReportJSON `json:"report,omitempty"`
 	Fingerprint string      `json:"ruleset_fingerprint"`
 	Cached      bool        `json:"cached"`
-	DurationMS  float64     `json:"duration_ms"`
+	// Coalesced marks a response served from another request's in-flight
+	// generation (singleflight) rather than the cache or a fresh run.
+	Coalesced  bool    `json:"coalesced,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
 }
 
 // ReportJSON mirrors gen.Report for the wire.
@@ -281,7 +287,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
+	v, err := s.pool.Submit(ctx, func(_ context.Context, worker *Worker) (any, error) {
 		an, err := worker.Analyzer()
 		if err != nil {
 			return nil, err
@@ -354,7 +360,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			Spec:           rule.SpecType(),
 			Events:         len(rule.Events),
 			DFAStates:      rule.DFA.NumStates,
-			AcceptingPaths: len(snap.Paths.Paths(rule, defaultMaxPaths)),
+			AcceptingPaths: len(snap.Paths.Paths(rule, gen.DefaultMaxPaths)),
 		})
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -407,7 +413,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 // Analyze runs the analyzer in-process, bypassing HTTP (used by the
 // benchmark harness and embedders).
 func (s *Server) Analyze(ctx context.Context, name, src string) (*analysis.Report, error) {
-	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
+	v, err := s.pool.Submit(ctx, func(_ context.Context, worker *Worker) (any, error) {
 		an, err := worker.Analyzer()
 		if err != nil {
 			return nil, err
@@ -421,7 +427,15 @@ func (s *Server) Analyze(ctx context.Context, name, src string) (*analysis.Repor
 }
 
 // Generate runs one generation in-process, bypassing HTTP but using the
-// same pool and cache (used by the benchmark harness and embedders).
+// same pool, cache, and coalescing as the API (used by the batch endpoint,
+// the benchmark harness, and embedders).
+//
+// The request path is: result-cache lookup → singleflight join → worker
+// pool. N concurrent identical cache misses submit exactly one generation;
+// the followers wait on the leader's flight and count toward the
+// `coalesced` metric. A follower whose leader fails with the *leader's*
+// cancellation (or pool shutdown) retries with its own still-live context
+// instead of inheriting an error it did not cause.
 func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateResponse, error) {
 	name, src := req.Name, req.Source
 	if req.UseCase != 0 {
@@ -441,31 +455,64 @@ func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateRes
 	if strings.TrimSpace(src) == "" {
 		return GenerateResponse{}, errors.New("service: need source or usecase")
 	}
-	snap := s.registry.Snapshot()
-	key := cacheKey(snap.Fingerprint, name, src, req.Package, req.Verify)
-	if resp, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		resp.Cached = true
+	for {
+		snap := s.registry.Snapshot()
+		key := cacheKey(snap.Fingerprint, name, src, req.Package, req.Verify)
+		if resp, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			resp.Cached = true
+			return resp, nil
+		}
+		f, leader := s.flights.join(key)
+		if !leader {
+			s.metrics.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return GenerateResponse{}, ctx.Err()
+			}
+			if f.err == nil {
+				resp := f.resp
+				resp.Coalesced = true
+				return resp, nil
+			}
+			if retryableFlightErr(f.err) && ctx.Err() == nil {
+				continue
+			}
+			return GenerateResponse{}, f.err
+		}
+		s.metrics.cacheMisses.Add(1)
+		v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
+			g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
+			res, err := g.GenerateFileCtx(ctx, name, src)
+			if err != nil {
+				return nil, err
+			}
+			return GenerateResponse{
+				Name:        name,
+				Output:      res.Output,
+				Report:      reportJSON(res.Report),
+				Fingerprint: worker.Snapshot().Fingerprint,
+			}, nil
+		})
+		if err != nil {
+			s.flights.finish(key, f, GenerateResponse{}, err)
+			return GenerateResponse{}, err
+		}
+		resp := v.(GenerateResponse)
+		// Populate the cache before releasing the flight so a request
+		// landing between the two sees one or the other, never a fresh miss.
+		s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
+		s.flights.finish(key, f, resp, nil)
 		return resp, nil
 	}
-	s.metrics.cacheMisses.Add(1)
-	v, err := s.pool.Submit(ctx, func(worker *Worker) (any, error) {
-		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
-		res, err := g.GenerateFile(name, src)
-		if err != nil {
-			return nil, err
-		}
-		return GenerateResponse{
-			Name:        name,
-			Output:      res.Output,
-			Report:      reportJSON(res.Report),
-			Fingerprint: worker.Snapshot().Fingerprint,
-		}, nil
-	})
-	if err != nil {
-		return GenerateResponse{}, err
-	}
-	resp := v.(GenerateResponse)
-	s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
-	return resp, nil
+}
+
+// retryableFlightErr reports whether a coalesced follower should retry
+// after its leader failed: the leader's own context expiring (or the pool
+// shutting down under it) says nothing about the follower's request.
+func retryableFlightErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrClosed)
 }

@@ -236,7 +236,7 @@ func TestPoolDrain(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := pool.Submit(context.Background(), func(w *Worker) (any, error) {
+			_, err := pool.Submit(context.Background(), func(_ context.Context, w *Worker) (any, error) {
 				mu.Lock()
 				ran++
 				mu.Unlock()
@@ -249,7 +249,7 @@ func TestPoolDrain(t *testing.T) {
 	}
 	wg.Wait()
 	pool.Close()
-	if _, err := pool.Submit(context.Background(), func(w *Worker) (any, error) { return nil, nil }); err != ErrClosed {
+	if _, err := pool.Submit(context.Background(), func(_ context.Context, w *Worker) (any, error) { return nil, nil }); err != ErrClosed {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 	mu.Lock()
