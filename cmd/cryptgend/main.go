@@ -16,6 +16,7 @@
 //	GET  /v1/templates       embedded use-case templates
 //	GET  /healthz            liveness + rule-set fingerprint
 //	GET  /metrics            request/cache/coalescing/latency counters
+//	GET  /debug/pprof/       live profiling endpoints (only with -pprof)
 //
 // The daemon compiles the embedded rule set once at startup and shares the
 // immutable result across all workers; repeated generations are served
@@ -37,6 +38,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +58,7 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "result cache entries")
 	dir := flag.String("dir", "", "module directory (default: working directory)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (opt-in: profiles reveal source being generated)")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -72,7 +75,23 @@ func main() {
 	log.Printf("serving on %s: %d rules (fingerprint %.12s), %d workers, timeout %s",
 		*addr, snap.Rules.Len(), snap.Fingerprint, *workers, *timeout)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The service handler owns the whole path space by default; -pprof
+	// splices the stdlib profiling endpoints in front of it so a live
+	// daemon can be profiled (CPU, heap, goroutines, contention) without a
+	// restart: `go tool pprof http://localhost:8572/debug/pprof/profile`.
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv.Handler())
+		handler = mux
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 

@@ -15,8 +15,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"cognicryptgen/crysl/ast"
 	"cognicryptgen/crysl/fsm"
@@ -266,8 +269,16 @@ func (s *RuleSet) Producers(predicate string) []*Rule {
 }
 
 // LoadFS parses and compiles every *.crysl file in fsys (recursively),
-// returning a rule set. Files are processed in sorted path order so that
-// rule-set construction is deterministic.
+// returning a rule set.
+//
+// Per-file work — read, lex, parse, semantic check, NFA construction,
+// determinization, minimization — is independent across files, so it is
+// fanned across GOMAXPROCS goroutines and the loaded set is only as slow
+// as its slowest single rule, not the sum of all rules. The merge runs
+// sequentially over the sorted path order, so rule-set construction
+// (insertion order, duplicate detection, error aggregation via
+// errors.Join) is byte-for-byte deterministic and identical to the old
+// sequential loader.
 func LoadFS(fsys fs.FS, root string) (*RuleSet, error) {
 	var paths []string
 	err := fs.WalkDir(fsys, root, func(path string, d fs.DirEntry, err error) error {
@@ -283,20 +294,52 @@ func LoadFS(fsys fs.FS, root string) (*RuleSet, error) {
 		return nil, err
 	}
 	sort.Strings(paths)
+
+	rulesByFile := make([]*Rule, len(paths))
+	errsByFile := make([]error, len(paths))
+	compile := func(i int) {
+		data, err := fs.ReadFile(fsys, paths[i])
+		if err != nil {
+			errsByFile[i] = err
+			return
+		}
+		rulesByFile[i], errsByFile[i] = ParseRule(paths[i], string(data))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(paths) {
+						return
+					}
+					compile(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range paths {
+			compile(i)
+		}
+	}
+
 	set := NewRuleSet()
 	var errs []error
-	for _, p := range paths {
-		data, err := fs.ReadFile(fsys, p)
-		if err != nil {
-			errs = append(errs, err)
+	for i := range paths {
+		if errsByFile[i] != nil {
+			errs = append(errs, errsByFile[i])
 			continue
 		}
-		r, err := ParseRule(p, string(data))
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if err := set.Add(r); err != nil {
+		if err := set.Add(rulesByFile[i]); err != nil {
 			errs = append(errs, err)
 		}
 	}

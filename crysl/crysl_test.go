@@ -202,6 +202,74 @@ func TestLoadFSReportsBrokenRule(t *testing.T) {
 	}
 }
 
+// TestLoadFSAggregatesAllErrors: a load with several independent failures
+// — an unparseable file AND a duplicate SPEC — must surface every error
+// through errors.Join, not just the first one queued, and must still
+// return the loadable remainder of the set.
+func TestLoadFSAggregatesAllErrors(t *testing.T) {
+	fsys := fstest.MapFS{
+		"r/a_bad.crysl":  {Data: []byte("SPEC\n???")},
+		"r/b_dup1.crysl": {Data: []byte(specSrc)},
+		"r/c_dup2.crysl": {Data: []byte(specSrc)}, // same SPEC gca.Widget again
+		"r/d_good.crysl": {Data: []byte(strings.Replace(specSrc, "gca.Widget", "gca.Gadget", 1))},
+	}
+	set, err := LoadFS(fsys, "r")
+	if err == nil {
+		t.Fatal("want aggregated errors, got nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "a_bad.crysl") {
+		t.Errorf("parse failure of a_bad.crysl not surfaced: %v", err)
+	}
+	if !strings.Contains(msg, "duplicate rule for gca.Widget") {
+		t.Errorf("duplicate SPEC not surfaced: %v", err)
+	}
+	// The first duplicate (sorted path order) and the good rule load.
+	if set.Len() != 2 {
+		t.Errorf("partial set has %d rules, want 2", set.Len())
+	}
+	if _, ok := set.Get("gca.Widget"); !ok {
+		t.Error("first gca.Widget variant missing from partial set")
+	}
+	if _, ok := set.Get("gca.Gadget"); !ok {
+		t.Error("gca.Gadget missing from partial set")
+	}
+}
+
+// TestLoadFSParallelDeterminism: the fan-out loader must produce exactly
+// the set a sequential load would — same insertion order, same
+// fingerprint — on every load.
+func TestLoadFSParallelDeterminism(t *testing.T) {
+	fsys := fstest.MapFS{}
+	names := []string{"Widget", "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta", "Theta", "Iota"}
+	for _, n := range names {
+		fsys["r/"+n+".crysl"] = &fstest.MapFile{
+			Data: []byte(strings.Replace(specSrc, "gca.Widget", "gca."+n, 1)),
+		}
+	}
+	first, err := LoadFS(fsys, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := first.Types()
+	wantFP := first.Fingerprint()
+	for i := 0; i < 8; i++ {
+		set, err := LoadFS(fsys, "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := set.Fingerprint(); got != wantFP {
+			t.Fatalf("load %d: fingerprint %s != %s", i, got, wantFP)
+		}
+		types := set.Types()
+		for j := range wantTypes {
+			if types[j] != wantTypes[j] {
+				t.Fatalf("load %d: order %v != %v", i, types, wantTypes)
+			}
+		}
+	}
+}
+
 func TestParseRuleSemanticFailure(t *testing.T) {
 	_, err := ParseRule("x", "SPEC T\nEVENTS\n c: New(ghost);\n")
 	if err == nil || !strings.Contains(err.Error(), "ghost") {

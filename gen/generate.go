@@ -70,15 +70,15 @@ type Options struct {
 // Generator turns code templates into secure implementations.
 //
 // A Generator is NOT safe for concurrent use: it threads the current
-// chain's object pool (curPool) through generation, and its srccheck
-// importer caches type-checked packages under a lock but records positions
-// in a shared token.FileSet. Concurrent servers run one Generator per
-// worker.
+// chain's object pool (curPool) through generation. Concurrent servers run
+// one Generator per worker.
 //
 // The inputs a Generator reads, however, are safe to share: a compiled
 // *crysl.RuleSet is immutable after loading (rules, events, aggregates,
-// objects, and DFAs are built once and only read afterwards), and a
-// *PathCache is internally synchronized. Any number of Generators in any
+// objects, and DFAs are built once and only read afterwards), a *PathCache
+// is internally synchronized, and the type-checked package universe behind
+// its srccheck.Checker is a process-wide concurrency-safe cache shared by
+// every Generator of the same module root. Any number of Generators in any
 // number of goroutines may therefore share one rule set and one path
 // cache; TestConcurrentGeneration enforces this with the race detector.
 type Generator struct {
@@ -94,6 +94,13 @@ type Generator struct {
 // New creates a Generator over the rule set. The module is located from
 // dir ("" = working directory) so that templates and generated code can be
 // type-checked against it.
+//
+// The first Generator in a process pays the one-time cost of source-
+// importing the crypto façade's transitive closure (~1 s, fanned across
+// CPUs); the type-checked packages land in srccheck's process-wide shared
+// universe, so every subsequent New over the same module constructs in
+// microseconds. Daemon workers and repeated single-shot constructions
+// share that warm-up instead of each paying it.
 func New(ruleSet *crysl.RuleSet, dir string, opts Options) (*Generator, error) {
 	checker, err := srccheck.NewChecker(dir)
 	if err != nil {
@@ -119,12 +126,12 @@ func (g *Generator) Rules() *crysl.RuleSet { return g.rules }
 
 // WithOptions returns a Generator sharing this one's compiled rule set,
 // type-checker, and API model, but running under opts. Construction is
-// O(1) — no re-import of the crypto façade — which lets a long-lived
-// worker keep one expensive base Generator and derive per-request variants
-// (package name override, verification on/off) for free. The derived
-// Generator shares the base's importer cache and FileSet, so it follows
-// the same rule as the base: use from one goroutine at a time, and not
-// concurrently with the base.
+// O(1), which lets a long-lived worker keep one base Generator and derive
+// per-request variants (package name override, verification on/off) for
+// free. The derived Generator follows the same rule as the base: use from
+// one goroutine at a time, and not concurrently with the base (the
+// generation state itself is per-Generator; the shared type-check universe
+// underneath is concurrency-safe).
 func (g *Generator) WithOptions(opts Options) *Generator {
 	if opts.MaxPaths == 0 {
 		opts.MaxPaths = DefaultMaxPaths

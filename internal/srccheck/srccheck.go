@@ -6,23 +6,27 @@
 // that check; here go/parser and go/types do. Because generated code
 // imports module-local packages (cognicryptgen/gca, cognicryptgen/gen/...)
 // that the standard source importer cannot resolve in module mode, this
-// package implements a small module-aware importer: module-local import
+// package implements a module-aware source importer: module-local import
 // paths are parsed and type-checked from the source tree, everything else
-// is delegated to the GOROOT source importer.
+// is resolved through go/build and type-checked from GOROOT source.
+//
+// All type-checked packages live in a process-wide shared Universe keyed
+// by module root (see universe.go): the first Checker in a process pays
+// the one-time cost of importing the crypto façade's transitive closure,
+// every later Checker constructs in microseconds, and concurrent imports
+// are both safe and deduplicated.
 package srccheck
 
 import (
 	"errors"
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 )
 
 // ModulePath is this module's path as declared in go.mod.
@@ -56,118 +60,76 @@ func ModuleRoot(dir string) (string, error) {
 	}
 }
 
-// Importer resolves import paths for go/types. It is safe for sequential
-// reuse; a single Importer caches type-checked packages.
+// Importer resolves import paths for go/types against the process-wide
+// shared Universe of its module root. It is safe for concurrent use by any
+// number of goroutines: concurrent Import calls for the same path
+// deduplicate onto one build (the rest wait on a per-path latch and
+// receive the same *types.Package), and calls for different paths build in
+// parallel. All Importers of one module root share one cache, so the
+// type-checked packages they return are pointer-identical across
+// Importers; TestConcurrentImport pins both properties under the race
+// detector.
 type Importer struct {
-	fset *token.FileSet
-	root string // module root directory
-
-	mu     sync.Mutex
-	std    types.Importer
-	pkgs   map[string]*types.Package
-	inprog map[string]bool
+	u *Universe
 }
 
-// NewImporter returns an importer rooted at the module directory root,
-// recording positions in fset.
-func NewImporter(fset *token.FileSet, root string) *Importer {
-	return &Importer{
-		fset:   fset,
-		root:   root,
-		std:    importer.ForCompiler(fset, "source", nil),
-		pkgs:   map[string]*types.Package{},
-		inprog: map[string]bool{},
-	}
+// NewImporter returns an importer over the shared universe of the module
+// rooted at root. Positions are recorded in the universe's FileSet (see
+// Fset); packages already built by any other Importer or Checker of the
+// same root are reused, not re-type-checked.
+func NewImporter(root string) *Importer {
+	return &Importer{u: SharedUniverse(root)}
 }
+
+// Fset returns the shared FileSet positions resolve against.
+func (imp *Importer) Fset() *token.FileSet { return imp.u.Fset() }
 
 // Import implements types.Importer.
 func (imp *Importer) Import(path string) (*types.Package, error) {
-	imp.mu.Lock()
-	defer imp.mu.Unlock()
-	return imp.importLocked(path)
+	return imp.u.Import(path)
 }
 
-func (imp *Importer) importLocked(path string) (*types.Package, error) {
-	if pkg, ok := imp.pkgs[path]; ok {
-		return pkg, nil
+// ImportFrom implements types.ImporterFrom; srcDir anchors vendor-aware
+// resolution of non-module paths.
+func (imp *Importer) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if srcDir == "" {
+		srcDir = imp.u.root
 	}
-	if !strings.HasPrefix(path, ModulePath) {
-		pkg, err := imp.std.Import(path)
-		if err != nil {
-			return nil, fmt.Errorf("srccheck: importing %q: %w", path, err)
-		}
-		imp.pkgs[path] = pkg
-		return pkg, nil
-	}
-	if imp.inprog[path] {
-		return nil, fmt.Errorf("srccheck: import cycle through %q", path)
-	}
-	imp.inprog[path] = true
-	defer delete(imp.inprog, path)
-
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, ModulePath), "/")
-	dir := filepath.Join(imp.root, filepath.FromSlash(rel))
-	pkg, err := imp.checkDir(path, dir)
-	if err != nil {
-		return nil, err
-	}
-	imp.pkgs[path] = pkg
-	return pkg, nil
+	return imp.u.importFrom(path, srcDir, nil)
 }
-
-// checkDir parses and type-checks the package in dir.
-func (imp *Importer) checkDir(path, dir string) (*types.Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("srccheck: reading %s: %w", dir, err)
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("srccheck: parsing %s: %w", name, err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("srccheck: no Go files in %s", dir)
-	}
-	conf := types.Config{Importer: importerFunc(imp.importLocked)}
-	pkg, err := conf.Check(path, imp.fset, files, nil)
-	if err != nil {
-		return nil, fmt.Errorf("srccheck: type-checking %s: %w", path, err)
-	}
-	return pkg, nil
-}
-
-type importerFunc func(string) (*types.Package, error)
-
-func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // Checker type-checks in-memory Go sources against the module.
+//
+// A Checker is safe for concurrent use: its FileSet is the universe's
+// shared, internally synchronized FileSet, and imports resolve through the
+// concurrency-safe universe. Each Check call builds its own types.Info.
 type Checker struct {
 	Fset *token.FileSet
-	imp  *Importer
+	u    *Universe
 }
 
 // NewChecker returns a checker rooted at the module containing dir ("" =
-// working directory).
+// working directory). The first Checker of a module root in a process pays
+// for the imports it triggers; every subsequent Checker shares the
+// already-built universe and constructs in microseconds.
 func NewChecker(dir string) (*Checker, error) {
 	root, err := ModuleRoot(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	return &Checker{Fset: fset, imp: NewImporter(fset, root)}, nil
+	u := SharedUniverse(root)
+	return &Checker{Fset: u.fset, u: u}, nil
 }
 
 // ImportPackage loads and type-checks a package by import path.
 func (c *Checker) ImportPackage(path string) (*types.Package, error) {
-	return c.imp.Import(path)
+	return c.u.Import(path)
+}
+
+// importer returns a fresh types.Importer view over the universe (fresh
+// cycle-detection chain per checked file set).
+func (c *Checker) importer() types.ImporterFrom {
+	return &chainImporter{u: c.u, srcDir: c.u.root}
 }
 
 // CheckDir parses and type-checks all non-test Go files of the package in
@@ -201,7 +163,7 @@ func (c *Checker) CheckDir(dir string) ([]*ast.File, *types.Package, *types.Info
 	}
 	var errs []error
 	conf := types.Config{
-		Importer: c.imp,
+		Importer: c.importer(),
 		Error:    func(err error) { errs = append(errs, err) },
 	}
 	pkg, err := conf.Check(files[0].Name.Name, c.Fset, files, info)
@@ -243,7 +205,7 @@ func (c *Checker) CheckPackageWith(dir, filename, src string) error {
 	}
 	var errs []error
 	conf := types.Config{
-		Importer: c.imp,
+		Importer: c.importer(),
 		Error:    func(err error) { errs = append(errs, err) },
 	}
 	if _, err := conf.Check(extra.Name.Name, c.Fset, files, nil); err != nil && len(errs) == 0 {
@@ -294,7 +256,7 @@ func (c *Checker) CheckSource(filename, src string) (*ast.File, *types.Package, 
 	}
 	var errs []error
 	conf := types.Config{
-		Importer: c.imp,
+		Importer: c.importer(),
 		Error:    func(err error) { errs = append(errs, err) },
 	}
 	pkg, err := conf.Check(f.Name.Name, c.Fset, []*ast.File{f}, info)

@@ -24,8 +24,11 @@ echo "==> shutdown stress (Submit vs Close under -race)"
 go test -race -run 'TestPoolSubmitCloseStress' -count=2 ./service
 
 # Smoke the daemon benchmark end to end (batch + coalescing tables
-# included) without the full measurement repetitions.
-echo "==> benchtables service smoke"
+# included) without the full measurement repetitions. This doubles as the
+# cold-start regression gate: benchtables exits non-zero if subsequent
+# Generator construction costs >= 10% of the first — i.e. if the shared
+# type-check universe (internal/srccheck) ever stops being reused.
+echo "==> benchtables service smoke (incl. cold-start gate)"
 go run ./cmd/benchtables -table service -smoke
 
 echo "==> verify OK"

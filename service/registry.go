@@ -62,6 +62,12 @@ func (r *Registry) Snapshot() *Snapshot {
 // requests keep the snapshot they started with; new requests see the new
 // one. The new snapshot's path cache is warmed eagerly so the first
 // request after a reload pays no enumeration cost.
+//
+// Both halves of the rebuild scale with the hardware: rule compilation
+// fans per-file lexing/parsing/automaton construction across GOMAXPROCS
+// goroutines inside crysl.LoadFS, and path warm-up below enumerates every
+// rule's accepting paths concurrently (PathCache is concurrency-safe), so
+// /v1/reload latency tracks the slowest single rule rather than the sum.
 func (r *Registry) Reload() (*Snapshot, error) {
 	set, err := r.loader()
 	if err != nil {
@@ -71,9 +77,15 @@ func (r *Registry) Reload() (*Snapshot, error) {
 	// options looks paths up under exactly this key, so the warmed entries
 	// cannot silently stop matching if the default ever changes.
 	paths := gen.NewPathCache()
+	var wg sync.WaitGroup
 	for _, rule := range set.Rules() {
-		paths.Paths(rule, gen.DefaultMaxPaths)
+		wg.Add(1)
+		go func(rule *crysl.Rule) {
+			defer wg.Done()
+			paths.Paths(rule, gen.DefaultMaxPaths)
+		}(rule)
 	}
+	wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var version uint64 = 1

@@ -13,6 +13,7 @@ import (
 	"cognicryptgen/analysis"
 	"cognicryptgen/crysl"
 	"cognicryptgen/gen"
+	"cognicryptgen/internal/srccheck"
 	"cognicryptgen/templates"
 )
 
@@ -52,7 +53,11 @@ type Server struct {
 }
 
 // New compiles the rule set, warms the path cache, and starts the worker
-// pool.
+// pool. The shared type-check universe (the crypto façade's transitive
+// closure, the expensive half of a worker's first Generator) begins
+// warming in the background immediately, so by the time the first request
+// arrives its worker either finds the universe built or joins the
+// in-flight warm-up instead of starting its own.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.NumCPU()
@@ -63,6 +68,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 256
 	}
+	go func() {
+		if root, err := srccheck.ModuleRoot(cfg.Dir); err == nil {
+			srccheck.SharedUniverse(root).Warm(srccheck.ModulePath + "/gca")
+		}
+	}()
 	registry, err := NewRegistry(cfg.Loader)
 	if err != nil {
 		return nil, err
