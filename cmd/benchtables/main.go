@@ -38,6 +38,7 @@ import (
 	"cognicryptgen/analysis"
 	"cognicryptgen/effort"
 	"cognicryptgen/gen"
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/oldgen"
 	"cognicryptgen/rules"
 	"cognicryptgen/service"
@@ -267,6 +268,9 @@ type serviceBenchResult struct {
 	Coalesced        int64   `json:"coalesced_requests"`
 	CoalesceHits     int64   `json:"coalesce_cache_hits"`
 	CoalesceClients  int     `json:"coalesce_clients"`
+	PanicsRecovered  int64   `json:"panics_recovered"`
+	ShedTotal        int64   `json:"shed_total"`
+	ShedRecoveryMS   float64 `json:"shed_recovery_ms"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	Clients          int     `json:"clients"`
 	Requests         int     `json:"total_requests"`
@@ -463,6 +467,48 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	coHits, _ := com["cache_hits"].(int64)
 	cosrv.Close()
 
+	// Resilience rows: a dedicated tiny server (1 worker, 1-deep queue,
+	// 1 waiter) takes an injected worker panic — the request fails, the
+	// very next one succeeds — then a latency storm that trips admission
+	// control. Shed recovery is the latency of the first successful
+	// generation after the fault clears: the price of coming back, not of
+	// staying up.
+	resrv, err := service.New(service.Config{Workers: 1, QueueSize: 1, MaxWaiters: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_warm.go", Source: src}); err != nil {
+		log.Fatal(err)
+	}
+	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModePanic, Times: 1})
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_panic.go", Source: src}); err == nil {
+		log.Fatal("injected worker panic did not fail its request")
+	}
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_after_panic.go", Source: src}); err != nil {
+		log.Fatalf("generation after recovered worker panic: %v", err)
+	}
+	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModeLatency, Latency: 100 * time.Millisecond})
+	var shedWG sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		shedWG.Add(1)
+		go func(i int) {
+			defer shedWG.Done()
+			// Shed requests fail with 429-mapped errors by design.
+			_, _ = resrv.Generate(ctx, service.GenerateRequest{Name: fmt.Sprintf("res_storm%d.go", i), Source: src})
+		}(i)
+	}
+	shedWG.Wait()
+	faultinject.Reset()
+	recoverStart := time.Now()
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_recover.go", Source: src}); err != nil {
+		log.Fatalf("generation after shedding storm: %v", err)
+	}
+	shedRecoveryMS := float64(time.Since(recoverStart)) / float64(time.Millisecond)
+	rem := resrv.MetricsSnapshot()
+	panicsRecovered, _ := rem["panics_recovered"].(int64)
+	shedTotal, _ := rem["shed_total"].(int64)
+	resrv.Close()
+
 	m := srv.MetricsSnapshot()
 	hitRate, _ := m["cache_hit_rate"].(float64)
 	res := serviceBenchResult{
@@ -481,6 +527,9 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		Coalesced:             coalesced,
 		CoalesceHits:          coHits,
 		CoalesceClients:       coalesceClients,
+		PanicsRecovered:       panicsRecovered,
+		ShedTotal:             shedTotal,
+		ShedRecoveryMS:        shedRecoveryMS,
 		CacheHitRate:          hitRate,
 		Clients:               clients,
 		Requests:              total,
@@ -504,6 +553,8 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		batchRounds, len(cases), res.BatchItemsPerS)
 	fmt.Printf("  coalescing: %d concurrent identical misses -> 1 generation (%d coalesced + %d cache hits)\n",
 		coalesceClients, res.Coalesced, res.CoalesceHits)
+	fmt.Printf("  resilience: %d worker panics recovered, %d requests shed, %.2f ms to first success after storm\n",
+		res.PanicsRecovered, res.ShedTotal, res.ShedRecoveryMS)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

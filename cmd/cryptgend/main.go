@@ -15,7 +15,8 @@
 //	GET  /v1/rules           compiled rules + rule-set fingerprint
 //	GET  /v1/templates       embedded use-case templates
 //	GET  /healthz            liveness + rule-set fingerprint
-//	GET  /metrics            request/cache/coalescing/latency counters
+//	GET  /readyz             readiness: ok | degraded (last reload failed) | draining
+//	GET  /metrics            request/cache/coalescing/latency/resilience counters
 //	GET  /debug/pprof/       live profiling endpoints (only with -pprof)
 //
 // The daemon compiles the embedded rule set once at startup and shares the
@@ -26,6 +27,23 @@
 // holding their worker. SIGINT/SIGTERM trigger a graceful drain: the
 // listener stops accepting, in-flight and queued requests finish, then the
 // process exits.
+//
+// The daemon is crash-proof and overload-safe by default: panics anywhere
+// in the request path are recovered into per-request 500s
+// (panics_recovered in /metrics), request bodies are capped (-max-body),
+// and when the worker queue saturates past -max-waiters blocked
+// submissions, excess requests are shed with 429 + Retry-After instead of
+// queueing without bound (shed_total in /metrics). A failed /v1/reload
+// keeps serving the last good rule set and reports degraded on /readyz.
+//
+// -rules DIR serves an external GoCrySL rule directory instead of the
+// embedded set; /v1/reload recompiles from that directory, so rules can be
+// edited live (a broken edit degrades, it does not crash).
+//
+// -faults SPEC (or CRYPTGEND_FAULTS) arms the internal/faultinject chaos
+// points — e.g. "worker-exec=panic:1,rule-compile=latency:50ms" — for
+// resilience drills against a live daemon. Disarmed points cost one atomic
+// load; production binaries simply never arm them.
 //
 // cryptgend must run inside the cognicryptgen module (or point -dir at
 // it), because generated code is type-checked against the module's gca
@@ -45,6 +63,9 @@ import (
 	"syscall"
 	"time"
 
+	"cognicryptgen/crysl"
+	"cognicryptgen/internal/faultinject"
+	"cognicryptgen/rules"
 	"cognicryptgen/service"
 )
 
@@ -59,7 +80,28 @@ func main() {
 	dir := flag.String("dir", "", "module directory (default: working directory)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown deadline")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (opt-in: profiles reveal source being generated)")
+	maxWaiters := flag.Int("max-waiters", 0, "submissions allowed to block behind a full queue before shedding 429s (0 = 2x queue, negative = unbounded)")
+	maxBody := flag.Int64("max-body", 0, "request-body byte cap on POST endpoints, 413 beyond it (0 = 4 MiB)")
+	rulesDir := flag.String("rules", "", "serve GoCrySL rules from this directory instead of the embedded set; /v1/reload recompiles from it")
+	faults := flag.String("faults", "", `arm chaos fault points, e.g. "worker-exec=panic:1,reload-swap=error" (also via CRYPTGEND_FAULTS)`)
 	flag.Parse()
+
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("CRYPTGEND_FAULTS")
+	}
+	if spec != "" {
+		if err := faultinject.ArmSpec(spec); err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		log.Printf("WARNING: fault injection armed (%s) — this daemon will deliberately misbehave", spec)
+	}
+
+	var loader func() (*crysl.RuleSet, error)
+	if *rulesDir != "" {
+		d := *rulesDir
+		loader = func() (*crysl.RuleSet, error) { return rules.TryLoad(d) }
+	}
 
 	srv, err := service.New(service.Config{
 		Dir:            *dir,
@@ -67,6 +109,9 @@ func main() {
 		QueueSize:      *queue,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
+		MaxWaiters:     *maxWaiters,
+		MaxBodyBytes:   *maxBody,
+		Loader:         loader,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +119,9 @@ func main() {
 	snap := srv.Registry().Snapshot()
 	log.Printf("serving on %s: %d rules (fingerprint %.12s), %d workers, timeout %s",
 		*addr, snap.Rules.Len(), snap.Fingerprint, *workers, *timeout)
+	if *rulesDir != "" {
+		log.Printf("rules loaded from %s (reload recompiles from disk)", *rulesDir)
+	}
 
 	// The service handler owns the whole path space by default; -pprof
 	// splices the stdlib profiling endpoints in front of it so a live

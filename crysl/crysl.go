@@ -25,6 +25,7 @@ import (
 	"cognicryptgen/crysl/fsm"
 	"cognicryptgen/crysl/parser"
 	"cognicryptgen/crysl/sem"
+	"cognicryptgen/internal/faultinject"
 )
 
 // Rule is a compiled GoCrySL rule.
@@ -177,7 +178,11 @@ func Compile(a *ast.Rule) (*Rule, error) {
 			r.Aggregates[e.Label] = expand(e.Label, map[string]bool{})
 		}
 	}
-	r.NFA = fsm.CompileNFA(a.Order, r.Aggregates)
+	nfa, err := fsm.CompileNFA(a.Order, r.Aggregates)
+	if err != nil {
+		return nil, fmt.Errorf("compiling ORDER automaton for %s: %w", a.SpecType, err)
+	}
+	r.NFA = nfa
 	r.DFA = fsm.Minimize(fsm.Determinize(r.NFA))
 	return r, nil
 }
@@ -298,6 +303,19 @@ func LoadFS(fsys fs.FS, root string) (*RuleSet, error) {
 	rulesByFile := make([]*Rule, len(paths))
 	errsByFile := make([]error, len(paths))
 	compile := func(i int) {
+		// A panic while compiling one rule — a lexer/parser/automaton bug
+		// driven by an adversarial file, or an injected chaos fault — must
+		// degrade into that file's error, not kill the process (the compile
+		// fans across goroutines, where an unrecovered panic is fatal).
+		defer func() {
+			if r := recover(); r != nil {
+				errsByFile[i] = fmt.Errorf("crysl: panic compiling %s: %v", paths[i], r)
+			}
+		}()
+		if err := faultinject.Fire(faultinject.PointRuleCompile); err != nil {
+			errsByFile[i] = fmt.Errorf("crysl: compiling %s: %w", paths[i], err)
+			return
+		}
 		data, err := fs.ReadFile(fsys, paths[i])
 		if err != nil {
 			errsByFile[i] = err

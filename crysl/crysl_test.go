@@ -4,6 +4,10 @@ import (
 	"strings"
 	"testing"
 	"testing/fstest"
+
+	"cognicryptgen/crysl/ast"
+	"cognicryptgen/crysl/parser"
+	"cognicryptgen/internal/faultinject"
 )
 
 const specSrc = `SPEC gca.Widget
@@ -274,5 +278,55 @@ func TestParseRuleSemanticFailure(t *testing.T) {
 	_, err := ParseRule("x", "SPEC T\nEVENTS\n c: New(ghost);\n")
 	if err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Fatalf("semantic failure not propagated: %v", err)
+	}
+}
+
+// bogusOrderNode embeds a real ORDER node to satisfy the OrderExpr
+// interface (isOrder is unexported) while being a kind the fsm compiler
+// does not know — the shape a future AST extension would take if the
+// compiler were not updated alongside it.
+type bogusOrderNode struct{ *ast.OrderRef }
+
+// TestCompileRejectsUnknownOrderNode pins the replacement of the old
+// fsm panic: an unknown ORDER node kind must surface as a compile error
+// from crysl.Compile — the same error path LoadFS aggregates with
+// errors.Join — never as a panic.
+func TestCompileRejectsUnknownOrderNode(t *testing.T) {
+	a, err := parser.Parse(specSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Order = &bogusOrderNode{&ast.OrderRef{Label: "c1"}}
+	r, err := Compile(a)
+	if err == nil {
+		t.Fatalf("Compile accepted an unknown ORDER node kind: %+v", r)
+	}
+	if !strings.Contains(err.Error(), "unknown order expression") {
+		t.Errorf("error does not name the unknown node: %v", err)
+	}
+	if !strings.Contains(err.Error(), "gca.Widget") {
+		t.Errorf("error does not name the rule: %v", err)
+	}
+}
+
+// TestLoadFSRecoversCompilePanic: a panic while compiling one rule file
+// (injected at the rule-compile fault point) degrades into that file's
+// error in the errors.Join aggregate; sibling files still load.
+func TestLoadFSRecoversCompilePanic(t *testing.T) {
+	faultinject.Arm(faultinject.PointRuleCompile, faultinject.Fault{Mode: faultinject.ModePanic, Times: 1})
+	defer faultinject.Reset()
+	fsys := fstest.MapFS{
+		"r/a.crysl": {Data: []byte(specSrc)},
+		"r/b.crysl": {Data: []byte(strings.Replace(specSrc, "gca.Widget", "gca.Gadget", 1))},
+	}
+	set, err := LoadFS(fsys, "r")
+	if err == nil {
+		t.Fatal("injected compile panic did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panic compiling") {
+		t.Errorf("panic not converted to a typed per-file error: %v", err)
+	}
+	if set.Len() != 1 {
+		t.Errorf("unaffected sibling rule should still load: %d", set.Len())
 	}
 }

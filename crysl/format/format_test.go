@@ -55,8 +55,16 @@ func TestRoundTripAllEmbeddedRules(t *testing.T) {
 					aggB[e.Label] = e.Aggregate
 				}
 			}
-			pa := fsm.Compile(orig.Order, aggA).AcceptingPaths(128)
-			pb := fsm.Compile(reparsed.Order, aggB).AcceptingPaths(128)
+			da, err := fsm.Compile(orig.Order, aggA)
+			if err != nil {
+				t.Fatalf("%s: compiling original ORDER: %v", name, err)
+			}
+			db, err := fsm.Compile(reparsed.Order, aggB)
+			if err != nil {
+				t.Fatalf("%s: compiling reparsed ORDER: %v", name, err)
+			}
+			pa := da.AcceptingPaths(128)
+			pb := db.AcceptingPaths(128)
 			if len(pa) != len(pb) {
 				t.Errorf("%s: ORDER language changed: %d vs %d paths", name, len(pa), len(pb))
 				continue

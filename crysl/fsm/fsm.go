@@ -55,20 +55,27 @@ type aggregates map[string][]string
 
 // CompileNFA builds an epsilon-NFA from an ORDER expression. agg maps
 // aggregate labels to their member labels. A nil expression yields an
-// automaton accepting only the empty sequence.
-func CompileNFA(expr ast.OrderExpr, agg map[string][]string) *NFA {
+// automaton accepting only the empty sequence. An ORDER node of a kind
+// this compiler does not understand is a compile-time error, not a panic:
+// rule compilation is driven by adversarial inputs in long-lived services,
+// so the error flows back through crysl.Compile into crysl.LoadFS's
+// per-file error aggregation.
+func CompileNFA(expr ast.OrderExpr, agg map[string][]string) (*NFA, error) {
 	n := &NFA{}
 	if expr == nil {
 		s := n.newState()
 		n.Start, n.Accept = s, s
-		return n
+		return n, nil
 	}
-	f := n.compile(expr, aggregates(agg))
+	f, err := n.compile(expr, aggregates(agg))
+	if err != nil {
+		return nil, err
+	}
 	n.Start, n.Accept = f.start, f.accept
-	return n
+	return n, nil
 }
 
-func (n *NFA) compile(expr ast.OrderExpr, agg aggregates) frag {
+func (n *NFA) compile(expr ast.OrderExpr, agg aggregates) (frag, error) {
 	switch e := expr.(type) {
 	case *ast.OrderRef:
 		if members, ok := agg[e.Label]; ok {
@@ -76,38 +83,53 @@ func (n *NFA) compile(expr ast.OrderExpr, agg aggregates) frag {
 			start := n.newState()
 			accept := n.newState()
 			for _, m := range members {
-				sub := n.compile(&ast.OrderRef{Label: m}, agg)
+				sub, err := n.compile(&ast.OrderRef{Label: m}, agg)
+				if err != nil {
+					return frag{}, err
+				}
 				n.addTrans(start, epsilon, sub.start)
 				n.addTrans(sub.accept, epsilon, accept)
 			}
-			return frag{start, accept}
+			return frag{start, accept}, nil
 		}
 		start := n.newState()
 		accept := n.newState()
 		n.addTrans(start, e.Label, accept)
-		return frag{start, accept}
+		return frag{start, accept}, nil
 
 	case *ast.OrderSeq:
-		cur := n.compile(e.Parts[0], agg)
+		cur, err := n.compile(e.Parts[0], agg)
+		if err != nil {
+			return frag{}, err
+		}
 		for _, part := range e.Parts[1:] {
-			next := n.compile(part, agg)
+			next, err := n.compile(part, agg)
+			if err != nil {
+				return frag{}, err
+			}
 			n.addTrans(cur.accept, epsilon, next.start)
 			cur = frag{cur.start, next.accept}
 		}
-		return cur
+		return cur, nil
 
 	case *ast.OrderAlt:
 		start := n.newState()
 		accept := n.newState()
 		for _, part := range e.Parts {
-			sub := n.compile(part, agg)
+			sub, err := n.compile(part, agg)
+			if err != nil {
+				return frag{}, err
+			}
 			n.addTrans(start, epsilon, sub.start)
 			n.addTrans(sub.accept, epsilon, accept)
 		}
-		return frag{start, accept}
+		return frag{start, accept}, nil
 
 	case *ast.OrderRep:
-		sub := n.compile(e.Sub, agg)
+		sub, err := n.compile(e.Sub, agg)
+		if err != nil {
+			return frag{}, err
+		}
 		start := n.newState()
 		accept := n.newState()
 		n.addTrans(start, epsilon, sub.start)
@@ -121,9 +143,9 @@ func (n *NFA) compile(expr ast.OrderExpr, agg aggregates) frag {
 		case ast.RepPlus:
 			n.addTrans(sub.accept, epsilon, sub.start)
 		}
-		return frag{start, accept}
+		return frag{start, accept}, nil
 	}
-	panic(fmt.Sprintf("fsm: unknown order expression %T", expr))
+	return frag{}, fmt.Errorf("fsm: unknown order expression %T", expr)
 }
 
 func (n *NFA) epsilonClosure(states []int) []int {
@@ -289,8 +311,12 @@ func Determinize(n *NFA) *DFA {
 }
 
 // Compile builds the DFA for an ORDER expression in one step.
-func Compile(expr ast.OrderExpr, agg map[string][]string) *DFA {
-	return Determinize(CompileNFA(expr, agg))
+func Compile(expr ast.OrderExpr, agg map[string][]string) (*DFA, error) {
+	n, err := CompileNFA(expr, agg)
+	if err != nil {
+		return nil, err
+	}
+	return Determinize(n), nil
 }
 
 // Accepts reports whether the DFA accepts the label sequence.

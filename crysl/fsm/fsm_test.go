@@ -19,8 +19,54 @@ func opt(e ast.OrderExpr) ast.OrderExpr        { return &ast.OrderRep{Sub: e, Op
 func star(e ast.OrderExpr) ast.OrderExpr       { return &ast.OrderRep{Sub: e, Op: ast.RepStar} }
 func plus(e ast.OrderExpr) ast.OrderExpr       { return &ast.OrderRep{Sub: e, Op: ast.RepPlus} }
 
+// compileOK / nfaOK compile expressions the tests know to be well-formed
+// (only the four AST node kinds exist outside these files); any error here
+// is a test bug, so they panic rather than thread *testing.T through the
+// testing/quick property closures.
+func compileOK(e ast.OrderExpr, agg map[string][]string) *DFA {
+	d, err := Compile(e, agg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func nfaOK(e ast.OrderExpr, agg map[string][]string) *NFA {
+	n, err := CompileNFA(e, agg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// bogusOrder is an OrderExpr kind the compiler does not know. It can only
+// be constructed by embedding an existing implementer (isOrder is
+// unexported), which is exactly how a future AST extension would
+// accidentally reach an un-updated compiler.
+type bogusOrder struct{ *ast.OrderRef }
+
+// TestUnknownOrderExprIsError is the regression test for the panic that
+// used to live at the bottom of (*NFA).compile: an ORDER node of unknown
+// kind must come back as a compile error (which crysl.Compile wraps and
+// crysl.LoadFS aggregates via errors.Join), never a panic.
+func TestUnknownOrderExprIsError(t *testing.T) {
+	for _, expr := range []ast.OrderExpr{
+		&bogusOrder{&ast.OrderRef{Label: "a"}},
+		seq(ref("a"), &bogusOrder{&ast.OrderRef{Label: "b"}}),
+		alt(&bogusOrder{&ast.OrderRef{Label: "a"}}, ref("b")),
+		&ast.OrderRep{Sub: &bogusOrder{&ast.OrderRef{Label: "a"}}, Op: ast.RepStar},
+	} {
+		if _, err := CompileNFA(expr, nil); err == nil {
+			t.Errorf("CompileNFA(%v) accepted an unknown node kind", expr)
+		}
+		if _, err := Compile(expr, nil); err == nil {
+			t.Errorf("Compile(%v) accepted an unknown node kind", expr)
+		}
+	}
+}
+
 func TestSequence(t *testing.T) {
-	d := Compile(seq(ref("a"), ref("b")), nil)
+	d := compileOK(seq(ref("a"), ref("b")), nil)
 	accepted := [][]string{{"a", "b"}}
 	rejected := [][]string{{}, {"a"}, {"b"}, {"b", "a"}, {"a", "b", "b"}}
 	for _, s := range accepted {
@@ -36,7 +82,7 @@ func TestSequence(t *testing.T) {
 }
 
 func TestAlternation(t *testing.T) {
-	d := Compile(alt(ref("a"), ref("b")), nil)
+	d := compileOK(alt(ref("a"), ref("b")), nil)
 	if !d.Accepts([]string{"a"}) || !d.Accepts([]string{"b"}) {
 		t.Error("alternatives not accepted")
 	}
@@ -46,7 +92,7 @@ func TestAlternation(t *testing.T) {
 }
 
 func TestOptional(t *testing.T) {
-	d := Compile(seq(ref("a"), opt(ref("b"))), nil)
+	d := compileOK(seq(ref("a"), opt(ref("b"))), nil)
 	if !d.Accepts([]string{"a"}) || !d.Accepts([]string{"a", "b"}) {
 		t.Error("optional handling wrong")
 	}
@@ -56,13 +102,13 @@ func TestOptional(t *testing.T) {
 }
 
 func TestStarAndPlus(t *testing.T) {
-	d := Compile(seq(ref("a"), star(ref("b")), ref("c")), nil)
+	d := compileOK(seq(ref("a"), star(ref("b")), ref("c")), nil)
 	for _, s := range [][]string{{"a", "c"}, {"a", "b", "c"}, {"a", "b", "b", "b", "c"}} {
 		if !d.Accepts(s) {
 			t.Errorf("star should accept %v", s)
 		}
 	}
-	d = Compile(plus(ref("x")), nil)
+	d = compileOK(plus(ref("x")), nil)
 	if d.Accepts(nil) {
 		t.Error("plus accepted empty")
 	}
@@ -74,7 +120,7 @@ func TestStarAndPlus(t *testing.T) {
 }
 
 func TestNilOrderAcceptsOnlyEmpty(t *testing.T) {
-	d := Compile(nil, nil)
+	d := compileOK(nil, nil)
 	if !d.Accepts(nil) {
 		t.Error("empty sequence should be accepted")
 	}
@@ -85,7 +131,7 @@ func TestNilOrderAcceptsOnlyEmpty(t *testing.T) {
 
 func TestAggregateExpansion(t *testing.T) {
 	agg := map[string][]string{"init": {"i1", "i2"}}
-	d := Compile(seq(ref("c"), ref("init"), ref("f")), agg)
+	d := compileOK(seq(ref("c"), ref("init"), ref("f")), agg)
 	if !d.Accepts([]string{"c", "i1", "f"}) || !d.Accepts([]string{"c", "i2", "f"}) {
 		t.Error("aggregate members not accepted")
 	}
@@ -95,7 +141,7 @@ func TestAggregateExpansion(t *testing.T) {
 }
 
 func TestAcceptingPathsShortestFirst(t *testing.T) {
-	d := Compile(seq(ref("a"), opt(ref("b")), opt(ref("c"))), nil)
+	d := compileOK(seq(ref("a"), opt(ref("b")), opt(ref("c"))), nil)
 	paths := d.AcceptingPaths(0)
 	if len(paths) != 4 {
 		t.Fatalf("want 4 paths, got %v", paths)
@@ -113,7 +159,7 @@ func TestAcceptingPathsShortestFirst(t *testing.T) {
 func TestAcceptingPathsNoRepetition(t *testing.T) {
 	// a+ has infinitely many words; path enumeration must terminate with
 	// the single-visit expansion (paper §3.3).
-	d := Compile(plus(ref("a")), nil)
+	d := compileOK(plus(ref("a")), nil)
 	paths := d.AcceptingPaths(0)
 	if len(paths) != 1 || !reflect.DeepEqual(paths[0], []string{"a"}) {
 		t.Fatalf("got %v", paths)
@@ -121,7 +167,7 @@ func TestAcceptingPathsNoRepetition(t *testing.T) {
 }
 
 func TestAcceptingPathsBound(t *testing.T) {
-	d := Compile(seq(opt(ref("a")), opt(ref("b")), opt(ref("c")), opt(ref("d"))), nil)
+	d := compileOK(seq(opt(ref("a")), opt(ref("b")), opt(ref("c")), opt(ref("d"))), nil)
 	paths := d.AcceptingPaths(3)
 	if len(paths) != 3 {
 		t.Fatalf("bound ignored: %d paths", len(paths))
@@ -135,8 +181,8 @@ func TestAllPathsAreAccepted(t *testing.T) {
 		seq(opt(ref("p")), star(ref("q")), ref("r")),
 	}
 	for _, e := range exprs {
-		d := Compile(e, nil)
-		n := CompileNFA(e, nil)
+		d := compileOK(e, nil)
+		n := nfaOK(e, nil)
 		for _, p := range d.AcceptingPaths(0) {
 			if !d.Accepts(p) {
 				t.Errorf("%s: enumerated path %v not accepted by DFA", e, p)
@@ -175,7 +221,7 @@ func TestQuickDFANFAEquivalence(t *testing.T) {
 	f := func(seedExpr int64, word []byte) bool {
 		r := rand.New(rand.NewSource(seedExpr))
 		e := randomOrder(r, 3)
-		n := CompileNFA(e, nil)
+		n := nfaOK(e, nil)
 		d := Determinize(n)
 		labels := []string{"a", "b", "c"}
 		var seq []string
@@ -198,7 +244,7 @@ func TestQuickStepSetMatchesAccepts(t *testing.T) {
 	f := func(seedExpr int64, word []byte) bool {
 		r := rand.New(rand.NewSource(seedExpr))
 		e := randomOrder(r, 3)
-		n := CompileNFA(e, nil)
+		n := nfaOK(e, nil)
 		labels := []string{"a", "b", "c"}
 		set := n.StartSet()
 		var seq []string
@@ -222,7 +268,7 @@ func TestQuickStepSetMatchesAccepts(t *testing.T) {
 }
 
 func TestDFAStringRendering(t *testing.T) {
-	d := Compile(seq(ref("a"), ref("b")), nil)
+	d := compileOK(seq(ref("a"), ref("b")), nil)
 	s := d.String()
 	if !strings.Contains(s, "--a-->") || !strings.Contains(s, "--b-->") {
 		t.Errorf("transition table rendering: %q", s)
@@ -230,7 +276,7 @@ func TestDFAStringRendering(t *testing.T) {
 }
 
 func TestStepDeadTransition(t *testing.T) {
-	d := Compile(seq(ref("a"), ref("b")), nil)
+	d := compileOK(seq(ref("a"), ref("b")), nil)
 	if _, ok := d.Step(d.Start, "b"); ok {
 		t.Error("b from start should be dead")
 	}

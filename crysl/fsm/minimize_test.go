@@ -10,7 +10,7 @@ func TestMinimizeMergesDuplicateStates(t *testing.T) {
 	// (a, b?) | (a, b) — subset construction yields separate states for
 	// the two "after a" positions with identical futures.
 	e := alt(seq(ref("a"), opt(ref("b"))), seq(ref("a"), ref("b")))
-	d := Compile(e, nil)
+	d := compileOK(e, nil)
 	m := Minimize(d)
 	if m.NumStates > d.NumStates {
 		t.Fatalf("minimization grew the automaton: %d -> %d", d.NumStates, m.NumStates)
@@ -41,7 +41,7 @@ func TestQuickMinimizePreservesLanguage(t *testing.T) {
 	f := func(seedExpr int64, word []byte) bool {
 		r := rand.New(rand.NewSource(seedExpr))
 		e := randomOrder(r, 3)
-		d := Compile(e, nil)
+		d := compileOK(e, nil)
 		m := Minimize(d)
 		if m.NumStates > d.NumStates {
 			return false
@@ -66,7 +66,7 @@ func TestQuickMinimizeIdempotent(t *testing.T) {
 	f := func(seedExpr int64) bool {
 		r := rand.New(rand.NewSource(seedExpr))
 		e := randomOrder(r, 3)
-		m1 := Minimize(Compile(e, nil))
+		m1 := Minimize(compileOK(e, nil))
 		m2 := Minimize(m1)
 		return m2.NumStates == m1.NumStates
 	}
@@ -81,7 +81,7 @@ func TestQuickMinimizePreservesPaths(t *testing.T) {
 	f := func(seedExpr int64) bool {
 		r := rand.New(rand.NewSource(seedExpr))
 		e := randomOrder(r, 2)
-		d := Compile(e, nil)
+		d := compileOK(e, nil)
 		m := Minimize(d)
 		pd := d.AcceptingPaths(64)
 		pm := m.AcceptingPaths(64)
@@ -107,7 +107,7 @@ func TestQuickMinimizePreservesPaths(t *testing.T) {
 
 func TestMinimizeEmptyLanguageAutomaton(t *testing.T) {
 	// An ORDER accepting only the empty word.
-	d := Compile(nil, nil)
+	d := compileOK(nil, nil)
 	m := Minimize(d)
 	if !m.Accepts(nil) || m.Accepts([]string{"a"}) {
 		t.Error("empty-word language broken")
@@ -118,7 +118,7 @@ func TestMinimizeOrderExprFromRuleSet(t *testing.T) {
 	// The Cipher-style order with aggregates.
 	agg := map[string][]string{"inits": {"i1", "i2"}}
 	e := seq(ref("c1"), ref("inits"), alt(seq(opt(ref("a1")), star(ref("u1")), ref("f1")), ref("w1")))
-	d := Compile(e, agg)
+	d := compileOK(e, agg)
 	m := Minimize(d)
 	for _, c := range [][]string{
 		{"c1", "i1", "f1"},

@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"cognicryptgen/templates"
+)
+
+// FuzzParseTemplate asserts crash-freedom of the template scanner on
+// arbitrary Go source: scanTemplate walks whatever AST go/parser accepts —
+// struct hunting, fluent-chain extraction, constant and length fact
+// collection — and must return a template or an error, never panic. The
+// scanner runs against an empty type-info table here (nil map lookups are
+// defined in Go and the scanner treats "no type info" as "no facts"),
+// which keeps each fuzz iteration free of the expensive type-check
+// universe while still covering every AST-shape-driven code path. The
+// seed corpus is all 13 embedded production templates plus degenerate
+// shapes.
+func FuzzParseTemplate(f *testing.F) {
+	for _, uc := range append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...) {
+		src, err := templates.Source(uc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uc.File, src)
+	}
+	for _, s := range []string{
+		"package p",
+		"package p\ntype T struct{}",
+		"package p\ntype T struct{}\nfunc (t *T) M() { cryslgen.NewGenerator().Generate() }",
+		"package p\ntype T struct{}\nfunc (t *T) M() {\n\tcryslgen.NewGenerator().ConsiderRule(\"gca.Cipher\").AddParameter(x, \"y\").Generate()\n}",
+		"package p\ntype T struct{}\nfunc (t *T) M() { k := make([]byte, 32); _ = k }",
+		"package p\nfunc F() {}",
+	} {
+		f.Add("seed.go", s)
+	}
+	f.Fuzz(func(t *testing.T, name, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return // not Go source; the generator rejects it before scanning
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		tmpl, err := scanTemplate(name, src, file, fset, types.NewPackage("fuzz", "fuzz"), info)
+		if tmpl == nil && err == nil {
+			t.Fatal("scanTemplate returned neither template nor error")
+		}
+	})
+}

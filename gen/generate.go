@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"go/types"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"cognicryptgen/crysl"
 	"cognicryptgen/crysl/ast"
 	"cognicryptgen/crysl/constraint"
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/internal/srccheck"
 )
 
@@ -175,6 +177,22 @@ type RuleReport struct {
 	Resolutions []string
 }
 
+// PanicError reports a panic recovered inside the generation pipeline. The
+// pipeline walks adversarial inputs (arbitrary template source through
+// go/parser, go/types, and the splicer), so a latent indexing bug is a
+// per-request failure, not a process failure: GenerateFileCtx converts the
+// panic into this typed error carrying the template name, the recovered
+// value, and the stack captured at the panic site.
+type PanicError struct {
+	Template string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("gen: panic generating %s: %v", e.Template, e.Value)
+}
+
 // GenerateFile runs the full pipeline on template source text. name is
 // used for diagnostics only.
 func (g *Generator) GenerateFile(name, src string) (*Result, error) {
@@ -188,7 +206,16 @@ func (g *Generator) GenerateFile(name, src string) (*Result, error) {
 // next step boundary instead of running the pipeline to completion. The
 // returned error wraps ctx.Err() and satisfies errors.Is against
 // context.Canceled / context.DeadlineExceeded.
-func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (*Result, error) {
+func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Template: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.PointGenerate); ferr != nil {
+		return nil, fmt.Errorf("gen: %s: %w", name, ferr)
+	}
 	start := time.Now()
 	if err := cancelled(ctx, name, "template type-check"); err != nil {
 		return nil, err

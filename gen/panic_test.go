@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cognicryptgen/internal/faultinject"
+)
+
+// TestGenerateRecoversPanic: a panic anywhere inside the generation
+// pipeline must surface as a typed *PanicError carrying the template name
+// and the stack from the panic site — never escape to the caller's
+// goroutine. The panic is injected at the generate fault point, which
+// fires inside GenerateFileCtx after its recover guard is installed.
+func TestGenerateRecoversPanic(t *testing.T) {
+	g := sharedGenerator(t)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.PointGenerate, faultinject.Fault{Mode: faultinject.ModePanic, Times: 1})
+
+	_, err := g.GenerateFile("mini.go", miniTemplate)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic surfaced as %v, want *PanicError", err)
+	}
+	if pe.Template != "mini.go" {
+		t.Errorf("PanicError.Template = %q", pe.Template)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "GenerateFileCtx") {
+		t.Errorf("PanicError.Stack missing the panic site:\n%s", pe.Stack)
+	}
+
+	// The fault was bounded to one firing; the generator must be usable
+	// again immediately — crash-then-recover, not crash-then-wedge.
+	if _, err := g.GenerateFile("mini.go", miniTemplate); err != nil {
+		t.Fatalf("generation after recovered panic failed: %v", err)
+	}
+}
+
+// TestGenerateFaultErrorMode: the generate fault point in error mode flows
+// back as an ordinary wrapped error (the service maps it to a 500 without
+// touching the panic path).
+func TestGenerateFaultErrorMode(t *testing.T) {
+	g := sharedGenerator(t)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.PointGenerate, faultinject.Fault{Mode: faultinject.ModeError, Times: 1})
+
+	_, err := g.GenerateFile("mini.go", miniTemplate)
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("injected error surfaced as %v, want *faultinject.Error", err)
+	}
+	if _, err := g.GenerateFile("mini.go", miniTemplate); err != nil {
+		t.Fatalf("generation after injected error failed: %v", err)
+	}
+}

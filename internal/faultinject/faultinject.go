@@ -1,0 +1,230 @@
+// Package faultinject provides named fault points for chaos testing the
+// generation pipeline and the cryptgend daemon.
+//
+// A fault point is a call to Fire with a well-known name at a site whose
+// failure behaviour the chaos suite wants to drive: rule compilation, path
+// enumeration, worker execution, the reload snapshot swap. When the point
+// is disarmed — the production state — Fire is a single atomic load
+// returning nil, so instrumented hot paths pay no measurable cost. When a
+// point is armed (programmatically by a test, or via the CRYPTGEND_FAULTS
+// environment variable / cryptgend's -faults flag), Fire injects one of
+// three failure modes:
+//
+//	error    return a typed *Error that callers propagate like any other
+//	panic    panic with a *Error value, exercising recovery guards
+//	latency  sleep for the configured duration, then return nil
+//
+// A fault may be limited to N firings ("panic:1" fires once, then the
+// point disarms itself), which lets tests assert "one request fails, the
+// next succeeds" without racing the disarm.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Well-known fault points. The package accepts arbitrary names, but these
+// are the sites instrumented across crysl, gen, and service; the chaos
+// suite and the README document them.
+const (
+	// PointRuleCompile fires once per rule file inside crysl.LoadFS, so an
+	// injected error surfaces through the loader's errors.Join aggregation
+	// exactly like a malformed rule would.
+	PointRuleCompile = "rule-compile"
+	// PointPathEnum fires per rule during the registry's candidate-snapshot
+	// path warm-up (service.Registry.Reload).
+	PointPathEnum = "path-enum"
+	// PointWorkerExec fires on a pool worker immediately before it runs a
+	// job (service.Pool).
+	PointWorkerExec = "worker-exec"
+	// PointReloadSwap fires after a candidate snapshot compiled and warmed,
+	// immediately before it would be swapped in (service.Registry.Reload).
+	PointReloadSwap = "reload-swap"
+	// PointGenerate fires at the head of gen.GenerateFileCtx, inside the
+	// library's own panic guard.
+	PointGenerate = "generate"
+)
+
+// Mode selects what an armed fault point does when fired.
+type Mode int
+
+// Fault modes.
+const (
+	ModeError Mode = iota
+	ModePanic
+	ModeLatency
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Fault describes an armed failure.
+type Fault struct {
+	Mode Mode
+	// Latency is the injected delay for ModeLatency.
+	Latency time.Duration
+	// Times bounds how often the fault fires before the point disarms
+	// itself; 0 means unlimited.
+	Times int64
+}
+
+// Error is the typed error an armed point injects (and the panic value in
+// ModePanic), so tests and callers can tell injected faults from organic
+// failures with errors.As.
+type Error struct {
+	Point string
+	Mode  Mode
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s", e.Mode, e.Point)
+}
+
+type state struct {
+	fault     Fault
+	remaining atomic.Int64 // only meaningful when fault.Times > 0
+}
+
+var (
+	// armed counts armed points; Fire's fast path is a single load of it.
+	armed  atomic.Int32
+	mu     sync.Mutex
+	points = map[string]*state{}
+)
+
+// Enabled reports whether any fault point is armed.
+func Enabled() bool { return armed.Load() > 0 }
+
+// Fire triggers the named point. Disarmed (the default) it returns nil
+// after one atomic load. Armed, it injects the configured fault: ModeError
+// returns a *Error, ModePanic panics with a *Error, ModeLatency sleeps and
+// returns nil.
+func Fire(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	st, ok := points[point]
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if st.fault.Times > 0 {
+		if st.remaining.Add(-1) < 0 {
+			// Exhausted; self-disarm (idempotent under concurrent firings).
+			Disarm(point)
+			return nil
+		}
+		if st.remaining.Load() == 0 {
+			defer Disarm(point)
+		}
+	}
+	switch st.fault.Mode {
+	case ModePanic:
+		panic(&Error{Point: point, Mode: ModePanic})
+	case ModeLatency:
+		time.Sleep(st.fault.Latency)
+		return nil
+	default:
+		return &Error{Point: point, Mode: ModeError}
+	}
+}
+
+// Arm installs (or replaces) the fault for a point.
+func Arm(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	st := &state{fault: f}
+	st.remaining.Store(f.Times)
+	if _, existed := points[point]; !existed {
+		armed.Add(1)
+	}
+	points[point] = st
+}
+
+// Disarm removes the fault for a point; a no-op when it is not armed.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point (tests defer this).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for p := range points {
+		delete(points, p)
+		armed.Add(-1)
+	}
+}
+
+// ArmSpec parses and arms a comma-separated fault specification, the
+// format of cryptgend's -faults flag and the CRYPTGEND_FAULTS variable:
+//
+//	point=mode[:arg][,point=mode[:arg]...]
+//
+// mode is error, panic, or latency. For latency the argument is the
+// sleep duration ("latency:250ms"); for error and panic it is an optional
+// fire count ("panic:1" fires once). Examples:
+//
+//	worker-exec=panic:1
+//	reload-swap=error,rule-compile=latency:50ms
+func ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("faultinject: bad fault %q (want point=mode[:arg])", part)
+		}
+		modeStr, arg, hasArg := strings.Cut(rest, ":")
+		var f Fault
+		switch modeStr {
+		case "error":
+			f.Mode = ModeError
+		case "panic":
+			f.Mode = ModePanic
+		case "latency":
+			f.Mode = ModeLatency
+			if !hasArg {
+				return fmt.Errorf("faultinject: latency fault %q needs a duration (latency:250ms)", part)
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultinject: bad latency in %q: %v", part, err)
+			}
+			f.Latency = d
+		default:
+			return fmt.Errorf("faultinject: unknown mode %q in %q (want error, panic, or latency)", modeStr, part)
+		}
+		if hasArg && f.Mode != ModeLatency {
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultinject: bad fire count in %q", part)
+			}
+			f.Times = n
+		}
+		Arm(point, f)
+	}
+	return nil
+}

@@ -34,14 +34,33 @@ func Load() (*crysl.RuleSet, error) {
 	return set, setErr
 }
 
-// MustLoad is Load, panicking on error. Intended for tests, benchmarks and
-// command-line tools where a broken embedded rule set is unrecoverable.
+// MustLoad is Load, panicking on error. The panic is an init-time
+// invariant, not a runtime hazard: the rule sources are compiled into the
+// binary by go:embed, so a compile failure means the binary itself was
+// built from broken rules — a condition no amount of runtime handling can
+// repair and one that the repository's own tests catch before release.
+// Intended for tests, benchmarks and command-line tools. Long-lived
+// services loading operator-supplied rule directories must use TryLoad,
+// which keeps rule errors as errors.
 func MustLoad() *crysl.RuleSet {
 	s, err := Load()
 	if err != nil {
 		panic(err)
 	}
 	return s
+}
+
+// TryLoad is the non-panicking loader for external rule sets. An empty dir
+// selects the embedded gca rules via the cached Load path; a non-empty dir
+// parses and compiles every *.crysl file under it. Unlike MustLoad, a
+// broken rule set — a typo in an operator-edited file, an unreadable
+// directory — comes back as an error the caller can report and survive,
+// which is the contract long-lived services need at startup and reload.
+func TryLoad(dir string) (*crysl.RuleSet, error) {
+	if dir == "" {
+		return Load()
+	}
+	return crysl.LoadDir(dir)
 }
 
 // LoadFresh is the explicit uncached path: it parses and compiles the

@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -120,5 +122,52 @@ func TestLoadFreshIndependentOfCache(t *testing.T) {
 	}
 	if a.Len() != b.Len() {
 		t.Error("fresh load differs from cached load")
+	}
+}
+
+// TestTryLoadEmptyDirIsCachedLoad: with no directory, TryLoad must return
+// the very same cached set as Load — services default to the embedded
+// rules without paying a second compile.
+func TestTryLoadEmptyDirIsCachedLoad(t *testing.T) {
+	cached, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := TryLoad("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != cached {
+		t.Fatal("TryLoad(\"\") returned a different set than Load()")
+	}
+}
+
+// TestTryLoadExternalDir exercises the non-panicking external path: a good
+// directory loads, a broken rule file comes back as an error (not a
+// panic), and a missing directory is an error too.
+func TestTryLoadExternalDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "w.crysl"),
+		[]byte("SPEC gca.Widget\nEVENTS\n    c: New();\nORDER\n    c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := TryLoad(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("gca.Widget"); !ok {
+		t.Fatal("external rule not loaded")
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "bad.crysl"),
+		[]byte("SPEC\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TryLoad(dir); err == nil {
+		t.Fatal("broken external rule did not surface as an error")
+	}
+
+	if _, err := TryLoad(filepath.Join(dir, "no-such-subdir")); err == nil {
+		t.Fatal("missing rule directory did not surface as an error")
 	}
 }

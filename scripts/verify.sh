@@ -23,6 +23,20 @@ go test -race "$@" ./...
 echo "==> shutdown stress (Submit vs Close under -race)"
 go test -race -run 'TestPoolSubmitCloseStress' -count=2 ./service
 
+# Chaos suite: injected worker panics, reload failures, and latency storms
+# must leave the daemon serving (500-then-recover, last-good snapshot,
+# 429 + Retry-After shedding). Re-run explicitly under -race so a fault
+# regression names itself even when the package run above is filtered.
+echo "==> chaos suite (fault injection under -race)"
+go test -race -run 'TestChaos|TestBodyCap' -count=1 ./service
+
+# Timed fuzz smoke: 10s of exploration per parser entry point on top of
+# the seed-corpus replay in the normal test run. Any crasher fails the
+# gate and lands in testdata/fuzz/ for triage.
+echo "==> fuzz smoke (10s per target)"
+go test -run NONE -fuzz 'FuzzParseRule' -fuzztime 10s ./crysl
+go test -run NONE -fuzz 'FuzzParseTemplate' -fuzztime 10s ./gen
+
 # Smoke the daemon benchmark end to end (batch + coalescing tables
 # included) without the full measurement repetitions. This doubles as the
 # cold-start regression gate: benchtables exits non-zero if subsequent

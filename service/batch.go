@@ -2,10 +2,10 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -67,6 +67,19 @@ func (s *Server) GenerateBatch(ctx context.Context, req BatchRequest) (BatchResp
 		wg.Add(1)
 		go func(i int, r GenerateRequest) {
 			defer wg.Done()
+			// A panic in one item's slot must fail that item alone, not
+			// unwind this goroutine (which would kill the process) or strand
+			// wg.Wait.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.recordPanic("batch-item", rec, debug.Stack())
+					results[i] = BatchItem{
+						Index:  i,
+						Error:  fmt.Sprintf("internal error: %v", rec),
+						Status: http.StatusInternalServerError,
+					}
+				}
+			}()
 			itemCtx, cancel := ctx, context.CancelFunc(func() {})
 			if req.ItemTimeoutMS > 0 {
 				itemCtx, cancel = context.WithTimeout(ctx, time.Duration(req.ItemTimeoutMS)*time.Millisecond)
@@ -99,8 +112,7 @@ func (s *Server) handleGenerateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.batches.Add(1)
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	start := time.Now()

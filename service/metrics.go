@@ -28,6 +28,8 @@ type metrics struct {
 	cacheMisses expvar.Int
 	coalesced   expvar.Int // requests served by joining an in-flight generation
 	reloads     expvar.Int
+	panics      expvar.Int // panics recovered (worker, handler, batch, leader)
+	shed        expvar.Int // submissions rejected by admission control (429)
 
 	mu        sync.Mutex
 	latencies []time.Duration // ring buffer, most recent latencyWindow
@@ -83,7 +85,7 @@ func (m *metrics) quantiles() (p50, p99 time.Duration) {
 }
 
 // snapshot renders all counters for GET /metrics.
-func (m *metrics) snapshot(queueDepth, cacheEntries int) map[string]any {
+func (m *metrics) snapshot(queueDepth, queueWaiters, cacheEntries int) map[string]any {
 	p50, p99 := m.quantiles()
 	hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
 	hitRate := 0.0
@@ -103,7 +105,10 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) map[string]any {
 		"cache_entries":     cacheEntries,
 		"coalesced":         m.coalesced.Value(),
 		"reloads":           m.reloads.Value(),
+		"panics_recovered":  m.panics.Value(),
+		"shed_total":        m.shed.Value(),
 		"queue_depth":       queueDepth,
+		"queue_waiters":     queueWaiters,
 		"latency_p50_ms":    float64(p50) / float64(time.Millisecond),
 		"latency_p99_ms":    float64(p99) / float64(time.Millisecond),
 	}

@@ -3,14 +3,29 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cognicryptgen/analysis"
 	"cognicryptgen/gen"
+	"cognicryptgen/internal/faultinject"
 )
 
 // ErrClosed is returned by Submit after the pool began shutting down.
 var ErrClosed = errors.New("service: pool is shut down")
+
+// serviceTimeWindow bounds the sliding window of per-job execution times
+// the deadline-aware admission check estimates its p99 from.
+const serviceTimeWindow = 256
+
+// minShedSamples is the number of observed service times required before
+// the deadline-aware admission check activates. A cold pool has no basis
+// for predicting service time, so it queues rather than sheds.
+const minShedSamples = 16
 
 // task is one unit of work executed on a pool worker. ctx is the
 // submitting request's context — tasks are expected to propagate it into
@@ -31,17 +46,49 @@ type jobResult struct {
 	err error
 }
 
+// PoolConfig tunes a Pool beyond its size.
+type PoolConfig struct {
+	// Workers is the number of worker goroutines (min 1).
+	Workers int
+	// QueueSize bounds pending jobs (0 = 4×Workers).
+	QueueSize int
+	// MaxWaiters bounds submissions allowed to block behind a full queue.
+	// 0 selects the default (2×QueueSize); a negative value disables
+	// admission control entirely — every submission blocks until queue
+	// space frees or its context expires, the pre-shedding behaviour that
+	// NewPool preserves.
+	MaxWaiters int
+	// OnPanic, when non-nil, observes every panic recovered on a worker.
+	OnPanic func(op string, v any, stack []byte)
+	// OnShed, when non-nil, observes every admission-control rejection.
+	OnShed func()
+	// OnAdmit, when non-nil, observes every successful enqueue (used to
+	// reset shed-streak backoff).
+	OnAdmit func()
+}
+
 // Pool is a bounded worker pool over the registry. Each worker owns one
 // gen.Generator and one analysis.Analyzer — a Generator is not safe for
 // concurrent use — while the compiled rule set and path cache are shared
 // through the registry snapshot, which is safe for concurrent readers.
+//
+// Workers are panic-isolated: a panic inside a task (or the generator
+// machinery under it) is recovered on the worker, converted into a typed
+// *InternalError for the one request that hit it, and the worker resets
+// its cached Generator/Analyzer and keeps serving. Submission is guarded
+// by admission control when MaxWaiters >= 0 (see Submit).
 type Pool struct {
-	registry *Registry
-	dir      string
-	jobs     chan *job
-	done     chan struct{}
-	wg       sync.WaitGroup
-	closing  sync.Once
+	registry   *Registry
+	dir        string
+	jobs       chan *job
+	done       chan struct{}
+	wg         sync.WaitGroup
+	closing    sync.Once
+	maxWaiters int
+	waiters    atomic.Int64
+	onPanic    func(op string, v any, stack []byte)
+	onShed     func()
+	onAdmit    func()
 
 	// sendMu fences job-channel sends against shutdown: Submit enqueues
 	// under the read side after checking closed; Close flips closed under
@@ -51,25 +98,51 @@ type Pool struct {
 	// strand a deadline-less caller forever.
 	sendMu sync.RWMutex
 	closed bool
+
+	// Sliding window of per-job execution times feeding the deadline-aware
+	// admission check.
+	stMu     sync.Mutex
+	svcTimes []time.Duration
+	stNext   int
+	stFilled bool
 }
 
 // NewPool starts workers goroutines consuming from a queue of queueSize
-// pending jobs. dir locates the module for template type-checking ("" =
-// working directory).
+// pending jobs, with admission control disabled (unbounded waiters): the
+// legacy constructor for embedders that want pure blocking backpressure.
+// dir locates the module for template type-checking ("" = working
+// directory).
 func NewPool(registry *Registry, dir string, workers, queueSize int) *Pool {
-	if workers < 1 {
-		workers = 1
+	return NewPoolConfig(registry, dir, PoolConfig{
+		Workers:    workers,
+		QueueSize:  queueSize,
+		MaxWaiters: -1,
+	})
+}
+
+// NewPoolConfig starts a pool under cfg.
+func NewPoolConfig(registry *Registry, dir string, cfg PoolConfig) *Pool {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
 	}
-	if queueSize < 1 {
-		queueSize = workers * 4
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = cfg.Workers * 4
+	}
+	if cfg.MaxWaiters == 0 {
+		cfg.MaxWaiters = cfg.QueueSize * 2
 	}
 	p := &Pool{
-		registry: registry,
-		dir:      dir,
-		jobs:     make(chan *job, queueSize),
-		done:     make(chan struct{}),
+		registry:   registry,
+		dir:        dir,
+		jobs:       make(chan *job, cfg.QueueSize),
+		done:       make(chan struct{}),
+		maxWaiters: cfg.MaxWaiters,
+		onPanic:    cfg.OnPanic,
+		onShed:     cfg.OnShed,
+		onAdmit:    cfg.OnAdmit,
+		svcTimes:   make([]time.Duration, serviceTimeWindow),
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
@@ -80,26 +153,60 @@ func NewPool(registry *Registry, dir string, workers, queueSize int) *Pool {
 // worker.
 func (p *Pool) QueueDepth() int { return len(p.jobs) }
 
+// Waiters reports the number of submissions currently blocked behind a
+// full queue.
+func (p *Pool) Waiters() int { return int(p.waiters.Load()) }
+
+// observeServiceTime records one job's execution time into the sliding
+// window.
+func (p *Pool) observeServiceTime(d time.Duration) {
+	p.stMu.Lock()
+	p.svcTimes[p.stNext] = d
+	p.stNext++
+	if p.stNext == len(p.svcTimes) {
+		p.stNext = 0
+		p.stFilled = true
+	}
+	p.stMu.Unlock()
+}
+
+// p99ServiceTime estimates the p99 per-job execution time from the sliding
+// window (nearest-rank). ok is false until minShedSamples jobs have run.
+func (p *Pool) p99ServiceTime() (d time.Duration, ok bool) {
+	p.stMu.Lock()
+	n := p.stNext
+	if p.stFilled {
+		n = len(p.svcTimes)
+	}
+	window := append([]time.Duration(nil), p.svcTimes[:n]...)
+	p.stMu.Unlock()
+	if len(window) < minShedSamples {
+		return 0, false
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	i := (99*len(window) + 99) / 100 // ceil(0.99*n)
+	if i > len(window) {
+		i = len(window)
+	}
+	return window[i-1], true
+}
+
 // Submit enqueues fn and waits for its result. It fails with ctx.Err()
 // when the context expires while the job is queued (the job is then
 // skipped by the worker, not run) and with ErrClosed once the pool is
 // shutting down.
+//
+// With admission control enabled (MaxWaiters >= 0), a submission that
+// finds the queue full is rejected with ErrOverloaded instead of blocking
+// when (a) the request's deadline is closer than the observed p99 service
+// time — the job would almost surely expire in the queue, wasting the slot
+// — or (b) MaxWaiters submissions are already blocked. Shedding at the
+// door keeps queue wait bounded and the daemon responsive under overload
+// rather than letting latency grow without limit.
 func (p *Pool) Submit(ctx context.Context, fn task) (any, error) {
 	j := &job{ctx: ctx, fn: fn, done: make(chan jobResult, 1)}
-	p.sendMu.RLock()
-	if p.closed {
-		p.sendMu.RUnlock()
-		return nil, ErrClosed
-	}
-	// Blocking on a full queue while holding the read lock is safe: the
-	// workers keep consuming until done closes, and done cannot close while
-	// this read lock is held (Close needs the write lock first).
-	select {
-	case p.jobs <- j:
-		p.sendMu.RUnlock()
-	case <-ctx.Done():
-		p.sendMu.RUnlock()
-		return nil, ctx.Err()
+	if err := p.enqueue(ctx, j); err != nil {
+		return nil, err
 	}
 	select {
 	case r := <-j.done:
@@ -108,6 +215,53 @@ func (p *Pool) Submit(ctx context.Context, fn task) (any, error) {
 		// The worker may still run (or skip) the job; the buffered done
 		// channel lets it complete without a receiver.
 		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) enqueue(ctx context.Context, j *job) error {
+	// Blocking on a full queue while holding the read lock is safe: the
+	// workers keep consuming until done closes, and done cannot close while
+	// this read lock is held (Close needs the write lock first).
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		if p.onAdmit != nil {
+			p.onAdmit()
+		}
+		return nil
+	default: // queue saturated
+	}
+	if p.maxWaiters >= 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if p99, have := p.p99ServiceTime(); have && time.Until(dl) < p99 {
+				if p.onShed != nil {
+					p.onShed()
+				}
+				return fmt.Errorf("service: queue full and deadline %v away is under the observed p99 service time %v: %w",
+					time.Until(dl).Round(time.Millisecond), p99.Round(time.Millisecond), ErrOverloaded)
+			}
+		}
+		if p.waiters.Add(1) > int64(p.maxWaiters) {
+			p.waiters.Add(-1)
+			if p.onShed != nil {
+				p.onShed()
+			}
+			return fmt.Errorf("service: %d submissions already waiting behind a full queue: %w", p.maxWaiters, ErrOverloaded)
+		}
+		defer p.waiters.Add(-1)
+	}
+	select {
+	case p.jobs <- j:
+		if p.onAdmit != nil {
+			p.onAdmit()
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -176,8 +330,32 @@ func (w *Worker) run(j *job) {
 		j.done <- jobResult{err: err}
 		return
 	}
-	v, err := j.fn(j.ctx, w)
+	start := time.Now()
+	v, err := w.exec(j)
+	w.pool.observeServiceTime(time.Since(start))
 	j.done <- jobResult{v: v, err: err}
+}
+
+// exec runs the job's task under the worker's panic guard: a panic in the
+// task — or injected at the worker-exec fault point — is converted into a
+// typed *InternalError for this one request, the worker's cached
+// Generator/Analyzer are discarded (their internal state may be mid-
+// mutation), and the worker goroutine survives to serve the next job.
+func (w *Worker) exec(j *job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			w.snap, w.base, w.analyzer = nil, nil, nil
+			if w.pool.onPanic != nil {
+				w.pool.onPanic("worker-exec", r, stack)
+			}
+			v, err = nil, &InternalError{Op: "worker-exec", Value: r, Stack: stack}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.PointWorkerExec); ferr != nil {
+		return nil, &InternalError{Op: "worker-exec", Value: ferr}
+	}
+	return j.fn(j.ctx, w)
 }
 
 // refresh rebuilds the worker's Generator (and drops its Analyzer) when

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cognicryptgen/crysl"
 	"cognicryptgen/gen"
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/rules"
 )
 
@@ -26,6 +29,22 @@ type Snapshot struct {
 	Version uint64
 }
 
+// RegistryHealth describes the registry's degradation state for /readyz.
+type RegistryHealth struct {
+	// Degraded is true while the most recent Reload failed: the daemon
+	// keeps serving from the last good snapshot, but the operator's new
+	// rules are not live.
+	Degraded bool
+	// LastError is the failed reload's error text.
+	LastError string
+	// FailedFingerprint identifies the candidate rule set that failed to
+	// swap in ("" when the failure happened before a fingerprint existed,
+	// e.g. a compile error).
+	FailedFingerprint string
+	// FailedAt is when the failed reload was attempted.
+	FailedAt time.Time
+}
+
 // Registry owns the current rule-set snapshot. Load cost (lex, parse,
 // semantic checks, NFA construction, determinization, minimization — for
 // all fourteen rules) is paid once per process instead of once per
@@ -33,8 +52,9 @@ type Snapshot struct {
 type Registry struct {
 	loader func() (*crysl.RuleSet, error)
 
-	mu   sync.RWMutex
-	snap *Snapshot
+	mu       sync.RWMutex
+	snap     *Snapshot
+	degraded RegistryHealth
 }
 
 // NewRegistry compiles the initial snapshot using loader (nil = the
@@ -58,34 +78,42 @@ func (r *Registry) Snapshot() *Snapshot {
 	return r.snap
 }
 
-// Reload compiles a fresh rule set and atomically swaps it in. In-flight
-// requests keep the snapshot they started with; new requests see the new
-// one. The new snapshot's path cache is warmed eagerly so the first
-// request after a reload pays no enumeration cost.
+// Health reports the registry's degradation state.
+func (r *Registry) Health() RegistryHealth {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.degraded
+}
+
+// Reload is transactional: the candidate rule set is compiled, finger-
+// printed, and its path cache fully warmed BEFORE anything is swapped, and
+// the swap itself is a single pointer assignment under the lock. Any
+// failure along the way — loader error, a panic in a custom loader, a
+// warm-up failure, an injected chaos fault — leaves the current snapshot
+// untouched: in-flight and future requests keep being served from the last
+// good rule set, and the failure is recorded for /readyz (Health) with the
+// failed candidate's fingerprint. The registry is never left empty or
+// partially swapped. A subsequent successful Reload clears the degraded
+// state.
 //
 // Both halves of the rebuild scale with the hardware: rule compilation
 // fans per-file lexing/parsing/automaton construction across GOMAXPROCS
-// goroutines inside crysl.LoadFS, and path warm-up below enumerates every
-// rule's accepting paths concurrently (PathCache is concurrency-safe), so
+// goroutines inside crysl.LoadFS, and path warm-up enumerates every rule's
+// accepting paths concurrently (PathCache is concurrency-safe), so
 // /v1/reload latency tracks the slowest single rule rather than the sum.
 func (r *Registry) Reload() (*Snapshot, error) {
-	set, err := r.loader()
+	set, paths, fp, err := r.buildCandidate()
 	if err != nil {
-		return nil, fmt.Errorf("service: compiling rule set: %w", err)
+		r.mu.Lock()
+		r.degraded = RegistryHealth{
+			Degraded:          true,
+			LastError:         err.Error(),
+			FailedFingerprint: fp,
+			FailedAt:          time.Now(),
+		}
+		r.mu.Unlock()
+		return nil, err
 	}
-	// Warm with gen's own default bound: a generator running with default
-	// options looks paths up under exactly this key, so the warmed entries
-	// cannot silently stop matching if the default ever changes.
-	paths := gen.NewPathCache()
-	var wg sync.WaitGroup
-	for _, rule := range set.Rules() {
-		wg.Add(1)
-		go func(rule *crysl.Rule) {
-			defer wg.Done()
-			paths.Paths(rule, gen.DefaultMaxPaths)
-		}(rule)
-	}
-	wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var version uint64 = 1
@@ -94,9 +122,60 @@ func (r *Registry) Reload() (*Snapshot, error) {
 	}
 	r.snap = &Snapshot{
 		Rules:       set,
-		Fingerprint: set.Fingerprint(),
+		Fingerprint: fp,
 		Paths:       paths,
 		Version:     version,
 	}
+	r.degraded = RegistryHealth{}
 	return r.snap, nil
+}
+
+// buildCandidate compiles and fully warms a candidate snapshot without
+// touching the registry. fp is returned even on failure when the candidate
+// got far enough to have one, so the degraded state can name the rule set
+// that failed.
+func (r *Registry) buildCandidate() (set *crysl.RuleSet, paths *gen.PathCache, fp string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			set, paths = nil, nil
+			err = fmt.Errorf("service: panic rebuilding rule set: %v", rec)
+		}
+	}()
+	set, err = r.loader()
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("service: compiling rule set: %w", err)
+	}
+	fp = set.Fingerprint()
+	// Warm with gen's own default bound: a generator running with default
+	// options looks paths up under exactly this key, so the warmed entries
+	// cannot silently stop matching if the default ever changes.
+	paths = gen.NewPathCache()
+	warmErrs := make([]error, len(set.Rules()))
+	var wg sync.WaitGroup
+	for i, rule := range set.Rules() {
+		wg.Add(1)
+		go func(i int, rule *crysl.Rule) {
+			defer wg.Done()
+			// A panic during enumeration must fail the reload, not kill the
+			// process: it is recovered here into this rule's warm error.
+			defer func() {
+				if rec := recover(); rec != nil {
+					warmErrs[i] = fmt.Errorf("panic warming %s: %v", rule.SpecType(), rec)
+				}
+			}()
+			if ferr := faultinject.Fire(faultinject.PointPathEnum); ferr != nil {
+				warmErrs[i] = fmt.Errorf("warming %s: %w", rule.SpecType(), ferr)
+				return
+			}
+			paths.Paths(rule, gen.DefaultMaxPaths)
+		}(i, rule)
+	}
+	wg.Wait()
+	if werr := errors.Join(warmErrs...); werr != nil {
+		return nil, nil, fp, fmt.Errorf("service: warming candidate rule set %s: %w", fp, werr)
+	}
+	if ferr := faultinject.Fire(faultinject.PointReloadSwap); ferr != nil {
+		return nil, nil, fp, fmt.Errorf("service: swapping in rule set %s: %w", fp, ferr)
+	}
+	return set, paths, fp, nil
 }

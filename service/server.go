@@ -5,9 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cognicryptgen/analysis"
@@ -16,6 +22,12 @@ import (
 	"cognicryptgen/internal/srccheck"
 	"cognicryptgen/templates"
 )
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// zero. Templates are source files, not datasets; 4 MiB is orders of
+// magnitude above any real template and small enough that a misbehaving
+// client cannot balloon the daemon's memory.
+const DefaultMaxBodyBytes = 4 << 20
 
 // Config tunes a Server. The zero value is usable: it serves the embedded
 // rule set with one worker per CPU and a 30-second request timeout.
@@ -33,6 +45,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// CacheSize bounds the generation result cache (0 = 256 entries).
 	CacheSize int
+	// MaxWaiters bounds submissions allowed to wait behind a full worker
+	// queue before admission control sheds with 429 (0 = 2×QueueSize,
+	// negative = unbounded waiting, disabling load shedding).
+	MaxWaiters int
+	// MaxBodyBytes caps request bodies on the POST endpoints; oversized
+	// requests get 413 (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
 	// Loader compiles the rule set at startup and on /v1/reload (nil =
 	// the embedded gca rules).
 	Loader func() (*crysl.RuleSet, error)
@@ -50,6 +69,19 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	started  time.Time
+
+	// draining flips when Close begins; /readyz reports it so load
+	// balancers stop routing before the listener goes away.
+	draining atomic.Bool
+	// shedStreak counts consecutive sheds since the last successful
+	// admission; Retry-After backs off exponentially with it.
+	shedStreak atomic.Int64
+	// panicLogged dedupes panic stack logging per recovery site, so a
+	// crash loop emits one stack, not one per request.
+	panicLogged sync.Map
+	// jitterMu guards jitterRand (math/rand.Rand is not concurrency-safe).
+	jitterMu   sync.Mutex
+	jitterRand *rand.Rand
 }
 
 // New compiles the rule set, warms the path cache, and starts the worker
@@ -73,20 +105,34 @@ func New(cfg Config) (*Server, error) {
 			srccheck.SharedUniverse(root).Warm(srccheck.ModulePath + "/gca")
 		}
 	}()
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	registry, err := NewRegistry(cfg.Loader)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		registry: registry,
-		pool:     NewPool(registry, cfg.Dir, cfg.Workers, cfg.QueueSize),
-		cache:    newResultCache(cfg.CacheSize),
-		flights:  newFlightGroup(),
-		metrics:  newMetrics(),
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		cfg:        cfg,
+		registry:   registry,
+		cache:      newResultCache(cfg.CacheSize),
+		flights:    newFlightGroup(),
+		metrics:    newMetrics(),
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		jitterRand: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	s.pool = NewPoolConfig(registry, cfg.Dir, PoolConfig{
+		Workers:    cfg.Workers,
+		QueueSize:  cfg.QueueSize,
+		MaxWaiters: cfg.MaxWaiters,
+		OnPanic:    s.recordPanic,
+		OnShed: func() {
+			s.metrics.shed.Add(1)
+			s.shedStreak.Add(1)
+		},
+		OnAdmit: func() { s.shedStreak.Store(0) },
+	})
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/generate/batch", s.handleGenerateBatch)
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
@@ -94,21 +140,65 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/rules", s.handleRules)
 	s.mux.HandleFunc("/v1/templates", s.handleTemplates)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
+// recordPanic counts one recovered panic and logs its stack, once per
+// recovery site: a request storm hitting the same broken path produces one
+// diagnostic stack in the log and a climbing panics_recovered counter, not
+// a log flood.
+func (s *Server) recordPanic(op string, v any, stack []byte) {
+	s.metrics.panics.Add(1)
+	if _, dup := s.panicLogged.LoadOrStore(op, true); !dup {
+		log.Printf("service: recovered panic in %s: %v\n%s", op, v, stack)
+	}
+}
+
+// retryAfterSeconds computes the Retry-After hint for a 429: exponential
+// in the current shed streak (1s doubling to a 64s ceiling), plus up to
+// 50% random jitter so a synchronized client fleet does not come back as
+// one thundering herd.
+func (s *Server) retryAfterSeconds() int {
+	streak := s.shedStreak.Load()
+	if streak > 6 {
+		streak = 6
+	}
+	base := 1 << streak
+	s.jitterMu.Lock()
+	j := s.jitterRand.Intn(base/2 + 1)
+	s.jitterMu.Unlock()
+	return base + j
+}
+
+// Handler returns the daemon's HTTP handler. Every request runs under a
+// panic guard: a panic that escapes a handler goroutine would otherwise
+// kill the whole process (net/http only protects its own serve goroutines,
+// and ours fan work out further), so it is recovered here into a 500 with
+// the panics_recovered counter bumped and the stack logged once per site.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.recordPanic("http "+r.URL.Path, rec, debug.Stack())
+				// If the handler already wrote headers this is a no-op body
+				// append; the client sees a truncated response either way.
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
 		s.mux.ServeHTTP(w, r)
 	})
 }
 
 // Close drains the worker pool: queued requests finish, new submissions
-// fail with 503. Call after the HTTP listener stopped accepting.
-func (s *Server) Close() { s.pool.Close() }
+// fail with 503. /readyz flips to draining immediately so load balancers
+// stop routing. Call after the HTTP listener stopped accepting.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
 
 // Registry exposes the server's rule registry (tests, embedding).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -225,22 +315,50 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Status: status})
 }
 
 // failStatus maps a pipeline error to an HTTP status: context expiry and
-// pool shutdown are 503 (retryable), everything else — malformed
-// templates, rule violations — is the client's 400.
+// pool shutdown are 503 (retryable), admission-control shedding is 429
+// (retryable after the Retry-After hint), recovered panics are the
+// server's 500, everything else — malformed templates, rule violations —
+// is the client's 400.
 func (s *Server) failStatus(err error) int {
+	var ie *InternalError
+	var pe *gen.PanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.As(err, &ie), errors.As(err, &pe):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// decodeBody decodes a JSON request body under the configured size cap,
+// answering 413 (oversized) or 400 (malformed) itself. ok is false when a
+// response has already been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -250,8 +368,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.generates.Add(1)
 	var req GenerateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.UseCase != 0 && req.Source != "" {
@@ -279,8 +396,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.analyzes.Add(1)
 	var req AnalyzeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Source == "" {
@@ -337,6 +453,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// The reload body is ignored today, but cap it anyway so a confused
+	// client streaming a rule archive here cannot balloon memory.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	snap, err := s.registry.Reload()
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "reload: %v", err)
@@ -410,6 +529,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// a live daemon can still be the wrong place to route traffic. It reports
+// one of three states — "ok" (200), "degraded" (200: serving, but the last
+// reload failed and the last-good rule set is live instead of the
+// operator's new one, with the failed candidate's fingerprint and error),
+// and "draining" (503: Close has begun, stop routing).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	snap := s.registry.Snapshot()
+	body := map[string]any{
+		"status":              "ok",
+		"ruleset_fingerprint": snap.Fingerprint,
+		"ruleset_version":     snap.Version,
+	}
+	if h := s.registry.Health(); h.Degraded {
+		body["status"] = "degraded"
+		body["last_error"] = h.LastError
+		body["failed_fingerprint"] = h.FailedFingerprint
+		body["failed_at"] = h.FailedAt.UTC().Format(time.RFC3339)
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
@@ -417,7 +562,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // MetricsSnapshot returns the current counters as served by GET /metrics
 // (benchmark harnesses consume this without going through HTTP).
 func (s *Server) MetricsSnapshot() map[string]any {
-	return s.metrics.snapshot(s.pool.QueueDepth(), s.cache.len())
+	return s.metrics.snapshot(s.pool.QueueDepth(), s.pool.Waiters(), s.cache.len())
 }
 
 // Analyze runs the analyzer in-process, bypassing HTTP (used by the
@@ -492,30 +637,52 @@ func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateRes
 			return GenerateResponse{}, f.err
 		}
 		s.metrics.cacheMisses.Add(1)
-		v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
-			g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
-			res, err := g.GenerateFileCtx(ctx, name, src)
-			if err != nil {
-				return nil, err
-			}
-			return GenerateResponse{
-				Name:        name,
-				Output:      res.Output,
-				Report:      reportJSON(res.Report),
-				Fingerprint: worker.Snapshot().Fingerprint,
-			}, nil
-		})
-		if err != nil {
-			s.flights.finish(key, f, GenerateResponse{}, err)
-			return GenerateResponse{}, err
-		}
-		resp := v.(GenerateResponse)
-		// Populate the cache before releasing the flight so a request
-		// landing between the two sees one or the other, never a fresh miss.
-		s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
-		s.flights.finish(key, f, resp, nil)
-		return resp, nil
+		return s.runLeader(ctx, key, f, name, src, req)
 	}
+}
+
+// runLeader executes a singleflight leader's generation. The flight is
+// finished in a defer, unconditionally: whatever happens on this path —
+// including a panic between pool submission and cache population — the
+// followers parked on f.done are woken with a result or an error, never
+// left waiting on a flight whose leader is gone.
+func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src string, req GenerateRequest) (resp GenerateResponse, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			stack := debug.Stack()
+			s.recordPanic("generate-leader", rec, stack)
+			resp, err = GenerateResponse{}, &InternalError{Op: "generate-leader", Value: rec, Stack: stack}
+		}
+		s.flights.finish(key, f, resp, err)
+	}()
+	v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
+		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
+		res, err := g.GenerateFileCtx(ctx, name, src)
+		if err != nil {
+			return nil, err
+		}
+		return GenerateResponse{
+			Name:        name,
+			Output:      res.Output,
+			Report:      reportJSON(res.Report),
+			Fingerprint: worker.Snapshot().Fingerprint,
+		}, nil
+	})
+	if err != nil {
+		// gen's own guard converts pipeline panics to *gen.PanicError
+		// before the worker sees them; count those recoveries here, at the
+		// one place per flight they surface.
+		var pe *gen.PanicError
+		if errors.As(err, &pe) {
+			s.metrics.panics.Add(1)
+		}
+		return GenerateResponse{}, err
+	}
+	resp = v.(GenerateResponse)
+	// Populate the cache before releasing the flight so a request landing
+	// between the two sees one or the other, never a fresh miss.
+	s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
+	return resp, nil
 }
 
 // retryableFlightErr reports whether a coalesced follower should retry
