@@ -1,0 +1,518 @@
+// Package client is the Go SDK for a cryptgend daemon or cluster. It
+// speaks the wire package's contract over pooled HTTP connections and
+// adds the client half of the cluster design:
+//
+//   - consistent-hash routing: each request is sent to the node that owns
+//     its cache key under rendezvous hashing (the same wire.RouteKey /
+//     wire.RendezvousRank the daemons use for peer forwarding), so a
+//     routed client hits every node's cache and singleflight directly and
+//     the daemons almost never need their one forwarding hop;
+//   - a health-aware member list: nodes failing /readyz (or a request)
+//     are ejected from routing and re-admitted when a background probe
+//     sees them recover, with requests failing over along the rendezvous
+//     rank so a dead owner's keys land on the same runner-up from every
+//     client;
+//   - retries: 429s are retried on the same node after honoring the
+//     server's jittered Retry-After hint (the envelope's retry_after_ms,
+//     falling back to the header); transient transport failures and 503s
+//     fail over to the next ranked node under capped exponential backoff;
+//     non-retryable errors (400s…) are returned immediately, exactly once;
+//   - batch splitting: one wire.BatchRequest is split by key owner into
+//     per-node sub-batches (capped at wire.MaxBatchItems) sent
+//     concurrently and reassembled in the caller's item order.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cognicryptgen/wire"
+)
+
+// Config tunes a Client. Only Nodes is required.
+type Config struct {
+	// Nodes lists the cluster members' base URLs (one entry = a
+	// standalone daemon).
+	Nodes []string
+	// HTTPClient overrides the transport (nil = a dedicated pooled
+	// client). Its Timeout is left alone; per-request deadlines come from
+	// RequestTimeout and the caller's context.
+	HTTPClient *http.Client
+	// RequestTimeout caps each attempt (0 = 30s). The caller's context
+	// bounds the whole call including retries and backoff sleeps.
+	RequestTimeout time.Duration
+	// MaxRetries bounds retries after the first attempt (0 = 3,
+	// negative = no retries).
+	MaxRetries int
+	// BackoffBase is the first transient-failure backoff (0 = 100ms); it
+	// doubles per retry up to BackoffMax (0 = 2s). 429 waits use the
+	// server's Retry-After hint instead, which the server already jitters.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DisableRouting round-robins requests across nodes instead of
+	// rendezvous-routing them. Cache locality then comes from the daemons'
+	// own peer forwarding — useful to exercise that path, or behind an
+	// external load balancer that already picked the node.
+	DisableRouting bool
+	// ProbeInterval paces the background /readyz health probe (0 = 2s,
+	// negative = no background probing; health then tracks only request
+	// outcomes).
+	ProbeInterval time.Duration
+}
+
+// Client is a cryptgend cluster client. Safe for concurrent use; create
+// with New and release its probe goroutine with Close.
+type Client struct {
+	cfg   Config
+	httpc *http.Client
+	nodes []string
+
+	// fingerprint is the last rule-set fingerprint observed (responses,
+	// readyz probes). Routing keys include it so client and daemons agree
+	// on shard layout; until first observed (""), routing is still
+	// deterministic and the daemons' one-hop forward corrects the rest.
+	fingerprint atomic.Value // string
+
+	// rr distributes DisableRouting requests round-robin.
+	rr atomic.Uint64
+
+	mu     sync.Mutex
+	health map[string]bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// New validates cfg and starts the health prober.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("client: need at least one node URL")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	c := &Client{
+		cfg:    cfg,
+		httpc:  cfg.HTTPClient,
+		nodes:  append([]string(nil), cfg.Nodes...),
+		health: make(map[string]bool, len(cfg.Nodes)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{}
+	}
+	c.fingerprint.Store("")
+	for _, n := range c.nodes {
+		c.health[n] = true
+	}
+	if cfg.ProbeInterval >= 0 {
+		interval := cfg.ProbeInterval
+		if interval == 0 {
+			interval = 2 * time.Second
+		}
+		go c.probeLoop(interval)
+	} else {
+		close(c.done)
+	}
+	return c, nil
+}
+
+// Close stops the background health prober. In-flight calls finish.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Healthy reports the current member-list health by node URL.
+func (c *Client) Healthy() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.health))
+	for n, h := range c.health {
+		out[n] = h
+	}
+	return out
+}
+
+// Fingerprint returns the last rule-set fingerprint the client observed
+// ("" before the first response or probe).
+func (c *Client) Fingerprint() string { return c.fingerprint.Load().(string) }
+
+func (c *Client) noteFingerprint(fp string) {
+	if fp != "" {
+		c.fingerprint.Store(fp)
+	}
+}
+
+func (c *Client) markHealth(node string, healthy bool) {
+	c.mu.Lock()
+	c.health[node] = healthy
+	c.mu.Unlock()
+}
+
+// members returns the healthy nodes in config order; when everything is
+// marked unhealthy it returns all nodes, so the client degrades to trying
+// rather than refusing.
+func (c *Client) members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if c.health[n] {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return append([]string(nil), c.nodes...)
+	}
+	return out
+}
+
+// probeLoop polls every node's /readyz: 200 (ok or degraded) re-admits,
+// 503 (draining) or an unreachable listener ejects. The probe also piggybacks
+// the cluster's rule-set fingerprint for the routing key.
+func (c *Client) probeLoop(interval time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, n := range c.nodes {
+			func() {
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, n+"/readyz", nil)
+				if err != nil {
+					c.markHealth(n, false)
+					return
+				}
+				resp, err := c.httpc.Do(req)
+				if err != nil {
+					c.markHealth(n, false)
+					return
+				}
+				defer resp.Body.Close()
+				var ready wire.ReadyResponse
+				if json.NewDecoder(resp.Body).Decode(&ready) == nil {
+					c.noteFingerprint(ready.Fingerprint)
+				}
+				c.markHealth(n, resp.StatusCode == http.StatusOK)
+			}()
+		}
+	}
+}
+
+// routeNodes returns the failover-ordered node list for one generate
+// request: the rendezvous rank of its key over the healthy members, or a
+// rotating round-robin order with routing disabled.
+func (c *Client) routeNodes(req wire.GenerateRequest) []string {
+	members := c.members()
+	if c.cfg.DisableRouting {
+		start := int(c.rr.Add(1)-1) % len(members)
+		return append(append([]string(nil), members[start:]...), members[:start]...)
+	}
+	return wire.RendezvousRank(wire.RouteKey(c.Fingerprint(), req), members)
+}
+
+// post runs one attempt against one node. A non-2xx response is returned
+// as *wire.Error (synthesized from the status when the body is not the
+// envelope — e.g. a proxy in the way); transport failures return err.
+// retryAfter carries the server's backoff hint for 429s.
+func (c *Client) post(ctx context.Context, node, path string, body []byte, out any) (wireErr *wire.Error, retryAfter time.Duration, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, node+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode < 300 {
+		return nil, 0, json.Unmarshal(data, out)
+	}
+	var e wire.Error
+	if json.Unmarshal(data, &e) != nil || e.Status == 0 {
+		e = *wire.NewError(resp.StatusCode, "%s%s: status %d", node, path, resp.StatusCode)
+	}
+	// Prefer the envelope's millisecond hint (it mirrors the header but
+	// keeps the server's precision); fall back to the Retry-After header.
+	if e.RetryAfterMS > 0 {
+		retryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+	} else if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return &e, retryAfter, nil
+}
+
+// backoff returns the capped exponential delay before retry number
+// attempt (0-based): base, 2·base, 4·base, … never exceeding BackoffMax.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 0; i < attempt && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doRetry drives the retry loop over a failover-ordered node list:
+//
+//   - success: done (node re-marked healthy);
+//   - transport failure: eject the node, advance to the next ranked node
+//     after a capped exponential backoff;
+//   - 429: the owner is shedding; wait out its Retry-After hint and retry
+//     the same node (another node would just forward back to the owner);
+//   - 503: the node is draining or timed out; eject, advance, back off;
+//   - anything else: terminal — returned immediately, never retried.
+func (c *Client) doRetry(ctx context.Context, nodes []string, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	idx := 0
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		node := nodes[idx%len(nodes)]
+		wireErr, retryAfter, err := c.post(ctx, node, path, body, out)
+		switch {
+		case err != nil:
+			c.markHealth(node, false)
+			lastErr = fmt.Errorf("%s%s: %w", node, path, err)
+			idx++
+			if serr := sleepCtx(ctx, c.backoff(attempt)); serr != nil {
+				return serr
+			}
+		case wireErr == nil:
+			c.markHealth(node, true)
+			return nil
+		case wireErr.Status == http.StatusTooManyRequests:
+			lastErr = wireErr
+			if serr := sleepCtx(ctx, retryAfter); serr != nil {
+				return serr
+			}
+		case wireErr.Retryable:
+			c.markHealth(node, false)
+			lastErr = wireErr
+			idx++
+			if serr := sleepCtx(ctx, c.backoff(attempt)); serr != nil {
+				return serr
+			}
+		default:
+			return wireErr
+		}
+	}
+	return fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// Generate runs one generation on the node owning the request's cache key
+// (with rank-order failover), retrying per the Config policy.
+func (c *Client) Generate(ctx context.Context, req wire.GenerateRequest) (wire.GenerateResponse, error) {
+	var resp wire.GenerateResponse
+	if err := c.doRetry(ctx, c.routeNodes(req), "/v1/generate", req, &resp); err != nil {
+		return wire.GenerateResponse{}, err
+	}
+	c.noteFingerprint(resp.Fingerprint)
+	return resp, nil
+}
+
+// Analyze runs the misuse analyzer. Analysis is uncached on the daemon, so
+// there is no key to route by; requests round-robin across healthy nodes.
+func (c *Client) Analyze(ctx context.Context, req wire.AnalyzeRequest) (wire.AnalyzeResponse, error) {
+	members := c.members()
+	start := int(c.rr.Add(1)-1) % len(members)
+	order := append(append([]string(nil), members[start:]...), members[:start]...)
+	var resp wire.AnalyzeResponse
+	if err := c.doRetry(ctx, order, "/v1/analyze", req, &resp); err != nil {
+		return wire.AnalyzeResponse{}, err
+	}
+	c.noteFingerprint(resp.Fingerprint)
+	return resp, nil
+}
+
+// GenerateBatch splits the batch by key owner into per-node sub-batches
+// (each capped at wire.MaxBatchItems), sends them concurrently, and
+// reassembles the results in the caller's item order. Per-item partial
+// success is preserved; a sub-batch whose node fails terminally marks only
+// its own items failed.
+func (c *Client) GenerateBatch(ctx context.Context, req wire.BatchRequest) (wire.BatchResponse, error) {
+	if len(req.Requests) == 0 {
+		return wire.BatchResponse{}, errors.New("client: batch needs at least one request")
+	}
+	start := time.Now()
+	members := c.members()
+	fp := c.Fingerprint()
+
+	// groups maps each node to the original indices it will generate.
+	groups := make(map[string][]int)
+	for i, r := range req.Requests {
+		var node string
+		if c.cfg.DisableRouting {
+			node = members[i%len(members)]
+		} else {
+			node = wire.RendezvousOwner(wire.RouteKey(fp, r), members)
+		}
+		groups[node] = append(groups[node], i)
+	}
+
+	results := make([]wire.BatchItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for node, indices := range groups {
+		// Respect the daemon's per-batch item cap by chunking each node's
+		// share; chunks run concurrently like separate sub-batches.
+		for len(indices) > 0 {
+			chunk := indices
+			if len(chunk) > wire.MaxBatchItems {
+				chunk = chunk[:wire.MaxBatchItems]
+			}
+			indices = indices[len(chunk):]
+			wg.Add(1)
+			go func(node string, chunk []int) {
+				defer wg.Done()
+				sub := wire.BatchRequest{ItemTimeoutMS: req.ItemTimeoutMS}
+				for _, i := range chunk {
+					sub.Requests = append(sub.Requests, req.Requests[i])
+				}
+				// Failover order: the owner first, then the remaining
+				// members (rendezvous rank of the first item's key keeps
+				// the order deterministic across clients).
+				order := []string{node}
+				for _, m := range members {
+					if m != node {
+						order = append(order, m)
+					}
+				}
+				var bresp wire.BatchResponse
+				if err := c.doRetry(ctx, order, "/v1/generate/batch", sub, &bresp); err != nil {
+					status := http.StatusServiceUnavailable
+					var we *wire.Error
+					if errors.As(err, &we) {
+						status = we.Status
+					}
+					for _, i := range chunk {
+						results[i] = wire.BatchItem{Index: i, Error: err.Error(), Status: status}
+					}
+					return
+				}
+				for j, i := range chunk {
+					if j < len(bresp.Results) {
+						item := bresp.Results[j]
+						item.Index = i
+						results[i] = item
+						if item.Response != nil {
+							c.noteFingerprint(item.Response.Fingerprint)
+						}
+					} else {
+						results[i] = wire.BatchItem{Index: i, Error: "missing batch result", Status: http.StatusInternalServerError}
+					}
+				}
+			}(node, chunk)
+		}
+	}
+	wg.Wait()
+
+	out := wire.BatchResponse{Results: results}
+	for _, r := range results {
+		if r.OK {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	out.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return out, nil
+}
+
+// Metrics fetches one node's /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context, node string) (wire.Metrics, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, node+"/metrics", nil)
+	if err != nil {
+		return wire.Metrics{}, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return wire.Metrics{}, err
+	}
+	defer resp.Body.Close()
+	var m wire.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return wire.Metrics{}, err
+	}
+	return m, nil
+}
+
+// ReloadAll POSTs /v1/reload to every configured node (healthy or not:
+// reloading a draining node is harmless, and an ejected-but-alive node
+// must not be left serving stale rules), returning per-node outcomes keyed
+// by URL.
+func (c *Client) ReloadAll(ctx context.Context) (map[string]wire.ReloadResponse, map[string]error) {
+	oks := make(map[string]wire.ReloadResponse, len(c.nodes))
+	errs := make(map[string]error)
+	for _, n := range c.nodes {
+		var resp wire.ReloadResponse
+		body, _ := json.Marshal(struct{}{})
+		wireErr, _, err := c.post(ctx, n, "/v1/reload", body, &resp)
+		switch {
+		case err != nil:
+			errs[n] = err
+		case wireErr != nil:
+			errs[n] = wireErr
+		default:
+			oks[n] = resp
+			c.noteFingerprint(resp.Fingerprint)
+		}
+	}
+	return oks, errs
+}

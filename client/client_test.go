@@ -1,0 +1,417 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cognicryptgen/wire"
+)
+
+// fakeNode is a scriptable daemon stand-in: it records every generate and
+// batch request it receives and answers 200 echoes unless a script
+// function overrides the response.
+type fakeNode struct {
+	ts *httptest.Server
+
+	mu        sync.Mutex
+	generates []wire.GenerateRequest
+	batches   [][]wire.GenerateRequest
+
+	// script, when set, handles /v1/generate instead of the echo (return
+	// true when it wrote the response).
+	script func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	f := &fakeNode{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.ReadyResponse{Status: wire.ReadyOK})
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.GenerateRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.generates = append(f.generates, req)
+		n := len(f.generates)
+		script := f.script
+		f.mu.Unlock()
+		if script != nil && script(w, n, req) {
+			return
+		}
+		json.NewEncoder(w).Encode(wire.GenerateResponse{Name: req.Name, Output: "out:" + f.ts.URL})
+	})
+	mux.HandleFunc("/v1/generate/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.BatchRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.batches = append(f.batches, req.Requests)
+		f.mu.Unlock()
+		resp := wire.BatchResponse{}
+		for i, item := range req.Requests {
+			resp.Results = append(resp.Results, wire.BatchItem{
+				Index:    i,
+				OK:       true,
+				Response: &wire.GenerateResponse{Name: item.Name, Output: "out:" + f.ts.URL},
+			})
+		}
+		resp.Succeeded = len(resp.Results)
+		json.NewEncoder(w).Encode(resp)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeNode) generateCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.generates)
+}
+
+func writeEnvelope(w http.ResponseWriter, e *wire.Error) {
+	if e.Status == http.StatusTooManyRequests && e.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((e.RetryAfterMS+999)/1000)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(e)
+}
+
+func mustClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // deterministic health in tests unless probing is the subject
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestRetry429HonorsRetryAfter: a 429 whose envelope carries
+// retry_after_ms=80 (header: 1s) is retried on the same node after ~80ms —
+// the millisecond hint wins over the coarser header, and the wait really
+// happens.
+func TestRetry429HonorsRetryAfter(t *testing.T) {
+	node := newFakeNode(t)
+	node.script = func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool {
+		if n == 1 {
+			e := wire.NewError(http.StatusTooManyRequests, "queue full")
+			e.RetryAfterMS = 80
+			writeEnvelope(w, e)
+			return true
+		}
+		return false
+	}
+	c := mustClient(t, Config{Nodes: []string{node.ts.URL}})
+	start := time.Now()
+	resp, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "a.go" {
+		t.Errorf("response name = %q", resp.Name)
+	}
+	if got := node.generateCount(); got != 2 {
+		t.Errorf("server saw %d requests, want 2 (one 429, one retry)", got)
+	}
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("retried after %v, before the 80ms Retry-After hint", elapsed)
+	}
+	if elapsed > 900*time.Millisecond {
+		t.Errorf("retried after %v — the 1s header was used instead of the 80ms envelope hint", elapsed)
+	}
+}
+
+// TestNonRetryableNeverRetried: a 400 envelope comes back exactly once, as
+// a *wire.Error, with no retry traffic.
+func TestNonRetryableNeverRetried(t *testing.T) {
+	node := newFakeNode(t)
+	node.script = func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool {
+		writeEnvelope(w, wire.NewError(http.StatusBadRequest, "malformed template"))
+		return true
+	}
+	c := mustClient(t, Config{Nodes: []string{node.ts.URL}, BackoffBase: time.Millisecond})
+	_, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "bad.go", Source: "x"})
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != http.StatusBadRequest || we.Code != wire.CodeInvalidRequest {
+		t.Fatalf("err = %v, want a 400 invalid_request envelope", err)
+	}
+	if got := node.generateCount(); got != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (400s are terminal)", got)
+	}
+}
+
+// TestTransientFailover: a connection-refused node is skipped after one
+// backoff, the request succeeds on the next ranked node, and the dead node
+// is ejected from the member list.
+func TestTransientFailover(t *testing.T) {
+	// A listener that is closed immediately: its port refuses connections.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+
+	live := newFakeNode(t)
+	c := mustClient(t, Config{
+		Nodes:          []string{deadURL, live.ts.URL},
+		DisableRouting: true, // first request starts at the first (dead) node
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+	})
+	resp, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Output != "out:"+live.ts.URL {
+		t.Errorf("served by %q, want the live node", resp.Output)
+	}
+	if h := c.Healthy(); h[deadURL] {
+		t.Error("dead node still marked healthy after connection refused")
+	}
+	// Subsequent requests must not touch the dead node at all: it is out
+	// of the member list, so there is no first-attempt timeout to pay.
+	before := live.generateCount()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "b.go", Source: "package p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := live.generateCount() - before; got != 5 {
+		t.Errorf("live node saw %d of 5 post-ejection requests", got)
+	}
+}
+
+// TestBackoffCappedAndExhausted: a node answering only 503 is retried
+// MaxRetries times under capped exponential backoff, then the call fails
+// with the last envelope. The elapsed time pins both that backoff happened
+// and that it stopped doubling at BackoffMax.
+func TestBackoffCappedAndExhausted(t *testing.T) {
+	node := newFakeNode(t)
+	node.script = func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool {
+		writeEnvelope(w, wire.NewError(http.StatusServiceUnavailable, "draining"))
+		return true
+	}
+	c := mustClient(t, Config{
+		Nodes:       []string{node.ts.URL},
+		MaxRetries:  4,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected failure after exhausting retries")
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want it to wrap the 503 envelope", err)
+	}
+	if got := node.generateCount(); got != 5 {
+		t.Errorf("server saw %d requests, want 5 (1 + MaxRetries)", got)
+	}
+	// Sleeps: 10 + 20 + 20 + 20 + 20 = 90ms capped; uncapped doubling
+	// would be 10+20+40+80+160 = 310ms.
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("elapsed %v: backoff did not happen", elapsed)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Errorf("elapsed %v: backoff kept doubling past BackoffMax", elapsed)
+	}
+}
+
+// TestConsistentRouting: identical requests always land on the same node,
+// distinct keys use every node, and losing a node moves only the keys it
+// owned (the client-side mirror of wire's rendezvous tests).
+func TestConsistentRouting(t *testing.T) {
+	nodes := make([]*fakeNode, 4)
+	urls := make([]string, 4)
+	byURL := map[string]*fakeNode{}
+	for i := range nodes {
+		nodes[i] = newFakeNode(t)
+		urls[i] = nodes[i].ts.URL
+		byURL[urls[i]] = nodes[i]
+	}
+	c := mustClient(t, Config{Nodes: urls, BackoffBase: time.Millisecond})
+
+	const keys = 40
+	owner := func(i int) string {
+		// Ask each fake which requests it has seen.
+		for _, n := range nodes {
+			n.mu.Lock()
+			for _, r := range n.generates {
+				if r.Name == reqName(i) {
+					n.mu.Unlock()
+					return n.ts.URL
+				}
+			}
+			n.mu.Unlock()
+		}
+		return ""
+	}
+	send := func(i int) {
+		t.Helper()
+		if _, err := c.Generate(context.Background(), wire.GenerateRequest{Name: reqName(i), Source: "package p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		send(i)
+	}
+	first := map[int]string{}
+	for i := 0; i < keys; i++ {
+		if first[i] = owner(i); first[i] == "" {
+			t.Fatalf("request %d reached no node", i)
+		}
+	}
+	used := map[string]bool{}
+	for _, u := range first {
+		used[u] = true
+	}
+	if len(used) != len(urls) {
+		t.Errorf("%d keys used %d of %d nodes", keys, len(used), len(urls))
+	}
+	// Second round: every repeat lands where the first did (counts double
+	// exactly on the owning node).
+	counts := map[string]int{}
+	for _, n := range nodes {
+		counts[n.ts.URL] = n.generateCount()
+	}
+	for i := 0; i < keys; i++ {
+		send(i)
+	}
+	for _, n := range nodes {
+		if got := n.generateCount(); got != counts[n.ts.URL]*2 {
+			t.Errorf("node %s: %d requests after repeat round, want %d", n.ts.URL, got, counts[n.ts.URL]*2)
+		}
+	}
+	// Node loss: close one node that owns at least one key; resend all.
+	// Keys owned by survivors must not move.
+	lost := first[0]
+	byURL[lost].ts.Close()
+	for i := 0; i < keys; i++ {
+		send(i)
+	}
+	for i := 0; i < keys; i++ {
+		if first[i] == lost {
+			continue
+		}
+		n := byURL[first[i]]
+		n.mu.Lock()
+		seen := 0
+		for _, r := range n.generates {
+			if r.Name == reqName(i) {
+				seen++
+			}
+		}
+		n.mu.Unlock()
+		if seen != 3 {
+			t.Errorf("key %d (owner surviving %s) seen %d times, want 3 — it reshuffled after an unrelated node died", i, first[i], seen)
+		}
+	}
+}
+
+func reqName(i int) string { return "t" + strconv.Itoa(i) + ".go" }
+
+// TestBatchSplitsAcrossNodes: one batch is split by key owner, sent as
+// per-node sub-batches, and reassembled in the caller's order with every
+// item accounted for exactly once.
+func TestBatchSplitsAcrossNodes(t *testing.T) {
+	nodes := make([]*fakeNode, 4)
+	urls := make([]string, 4)
+	for i := range nodes {
+		nodes[i] = newFakeNode(t)
+		urls[i] = nodes[i].ts.URL
+	}
+	c := mustClient(t, Config{Nodes: urls})
+
+	var req wire.BatchRequest
+	const items = 40
+	for i := 0; i < items; i++ {
+		req.Requests = append(req.Requests, wire.GenerateRequest{Name: reqName(i), Source: "package p"})
+	}
+	resp, err := c.GenerateBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != items || resp.Failed != 0 {
+		t.Fatalf("succeeded/failed = %d/%d, want %d/0", resp.Succeeded, resp.Failed, items)
+	}
+	for i, item := range resp.Results {
+		if item.Index != i {
+			t.Fatalf("result %d has index %d: order was not restored after splitting", i, item.Index)
+		}
+		if item.Response == nil || item.Response.Name != reqName(i) {
+			t.Fatalf("result %d does not correspond to request %d", i, i)
+		}
+	}
+	splitAcross := 0
+	total := 0
+	for _, n := range nodes {
+		n.mu.Lock()
+		if len(n.batches) > 0 {
+			splitAcross++
+		}
+		for _, b := range n.batches {
+			total += len(b)
+		}
+		n.mu.Unlock()
+	}
+	if splitAcross < 2 {
+		t.Errorf("batch hit %d nodes, want it split across several", splitAcross)
+	}
+	if total != items {
+		t.Errorf("nodes received %d items in sub-batches, want exactly %d (no duplicates, no drops)", total, items)
+	}
+}
+
+// TestProbeEjectsAndReadmits: the background prober ejects a node whose
+// /readyz turns 503 and re-admits it when it recovers.
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	var draining sync.Map
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, bad := draining.Load("x"); bad {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(wire.ReadyResponse{Status: wire.ReadyOK, Fingerprint: "fp-probe"})
+	}))
+	defer node.Close()
+	c := mustClient(t, Config{Nodes: []string{node.URL}, ProbeInterval: 15 * time.Millisecond})
+
+	waitHealth := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Healthy()[node.URL] == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("node never became %s", what)
+	}
+	waitHealth(true, "healthy")
+	draining.Store("x", true)
+	waitHealth(false, "ejected while draining")
+	draining.Delete("x")
+	waitHealth(true, "re-admitted after recovery")
+	if c.Fingerprint() != "fp-probe" {
+		t.Errorf("fingerprint = %q, want the probe to have learned %q", c.Fingerprint(), "fp-probe")
+	}
+}

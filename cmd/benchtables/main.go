@@ -39,6 +39,7 @@ import (
 	"cognicryptgen/effort"
 	"cognicryptgen/gen"
 	"cognicryptgen/internal/faultinject"
+	"cognicryptgen/internal/loadgen"
 	"cognicryptgen/oldgen"
 	"cognicryptgen/rules"
 	"cognicryptgen/service"
@@ -277,6 +278,19 @@ type serviceBenchResult struct {
 	UseCases         int     `json:"use_cases"`
 	Workers          int     `json:"workers"`
 	Fingerprint      string  `json:"ruleset_fingerprint"`
+
+	// Cluster rows (internal/loadgen over in-process nodes + the SDK):
+	// closed-loop mixed workload whose working set exceeds one node's
+	// result cache, at 1/2/4 nodes with hash routing, plus a 4-node
+	// unrouted (round-robin) pass where cache locality comes from the
+	// daemons' peer forwarding instead of the client.
+	ClusterWorkingSet   int                  `json:"cluster_working_set"`
+	ClusterCacheSize    int                  `json:"cluster_cache_size"`
+	ClusterRequests     int                  `json:"cluster_requests"`
+	ClusterRPS          map[string]float64   `json:"cluster_rps"`
+	ClusterSpeedup4     float64              `json:"cluster_speedup_4x_vs_1"`
+	ForwardHitRate      float64              `json:"forward_hit_rate"`
+	ClusterNodeHitRates map[string][]float64 `json:"cluster_node_cache_hit_rates"`
 }
 
 // serviceBench measures the cryptgend daemon (S19/E9): the process
@@ -434,14 +448,16 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	reloadMS := float64(time.Since(reloadStart)) / float64(time.Millisecond) / float64(reloadRuns)
 
 	// Coalescing: concurrent identical cache misses collapse into one
-	// generation through the singleflight layer. A follower is served
-	// without regenerating either by joining the leader's flight
-	// (coalesced) or by hitting the cache the leader just filled — which of
-	// the two depends on scheduling: now that the shared universe makes a
-	// worker's first generation take milliseconds instead of a second, a
-	// single-core machine often resolves the leader before the followers
-	// even run. What matters (and what TestCoalescingSingleGeneration pins)
-	// is that all followers are absorbed, so both counters are reported.
+	// generation through the singleflight layer. Left ungated, this stage
+	// used to report coalesced=0 on fast machines: the shared universe makes
+	// a generation take low milliseconds, so on a single core the leader
+	// often finished before any follower was even scheduled and the
+	// followers all landed as plain cache hits — the stage never measured
+	// the thing it existed for. A one-shot injected latency at the worker
+	// exec point now holds the leader's flight open long enough for every
+	// follower to arrive and park on it; followers bump the coalesced
+	// counter before waiting, so the split below is deterministic enough to
+	// assert on.
 	cosrv, err := service.New(service.Config{Workers: workers, CacheSize: 64})
 	if err != nil {
 		log.Fatal(err)
@@ -460,11 +476,19 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 			}
 		}()
 	}
+	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModeLatency, Latency: 250 * time.Millisecond, Times: 1})
 	close(coStart)
 	coWG.Wait()
+	faultinject.Reset()
 	com := cosrv.MetricsSnapshot()
-	coalesced, _ := com["coalesced"].(int64)
-	coHits, _ := com["cache_hits"].(int64)
+	coalesced := com.Coalesced
+	coHits := com.CacheHits
+	if coalesced == 0 {
+		log.Fatal("coalescing stage: no follower joined the gated flight")
+	}
+	if absorbed := coalesced + coHits; absorbed != coalesceClients-1 {
+		log.Fatalf("coalescing stage: %d followers absorbed (coalesced %d + hits %d), want %d", absorbed, coalesced, coHits, coalesceClients-1)
+	}
 	cosrv.Close()
 
 	// Resilience rows: a dedicated tiny server (1 worker, 1-deep queue,
@@ -505,12 +529,67 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	}
 	shedRecoveryMS := float64(time.Since(recoverStart)) / float64(time.Millisecond)
 	rem := resrv.MetricsSnapshot()
-	panicsRecovered, _ := rem["panics_recovered"].(int64)
-	shedTotal, _ := rem["shed_total"].(int64)
+	panicsRecovered := rem.PanicsRecovered
+	shedTotal := rem.ShedTotal
 	resrv.Close()
 
+	// Cluster rows. The workload is sized so its working set does not fit
+	// one node's result cache but does fit four: the single node thrashes
+	// (most requests pay a full generation), while the routed cluster
+	// shards the key space and serves cache hits — on a single-CPU box the
+	// speedup comes from aggregate cache capacity, not parallel compute.
+	clusterWS, clusterCache, clusterReqs := 160, 64, 2000
+	if smoke {
+		clusterWS, clusterCache, clusterReqs = 36, 16, 240
+	}
+	clusterRPS := make(map[string]float64, 4)
+	clusterHitRates := make(map[string][]float64, 4)
+	for _, n := range []int{1, 2, 4} {
+		lres, err := loadgen.Run(ctx, loadgen.Options{
+			Nodes:      n,
+			Clients:    8,
+			Requests:   clusterReqs,
+			WorkingSet: clusterWS,
+			CacheSize:  clusterCache,
+			Workers:    2,
+			Seed:       1,
+		})
+		if err != nil {
+			log.Fatalf("cluster stage (%d nodes): %v", n, err)
+		}
+		if lres.Errors > 0 {
+			log.Fatalf("cluster stage (%d nodes): %d request errors", n, lres.Errors)
+		}
+		key := fmt.Sprintf("%d", n)
+		clusterRPS[key] = lres.RPS
+		clusterHitRates[key] = lres.NodeHitRates()
+	}
+	fres, err := loadgen.Run(ctx, loadgen.Options{
+		Nodes:          4,
+		Clients:        8,
+		Requests:       clusterReqs,
+		WorkingSet:     clusterWS,
+		CacheSize:      clusterCache,
+		Workers:        2,
+		Seed:           1,
+		DisableRouting: true,
+	})
+	if err != nil {
+		log.Fatalf("cluster stage (4 nodes, unrouted): %v", err)
+	}
+	if fres.Errors > 0 {
+		log.Fatalf("cluster stage (4 nodes, unrouted): %d request errors", fres.Errors)
+	}
+	clusterRPS["4_unrouted"] = fres.RPS
+	clusterHitRates["4_unrouted"] = fres.NodeHitRates()
+	forwardHitRate := fres.AggregateForwardHitRate()
+	if forwardHitRate == 0 {
+		log.Fatal("cluster stage: unrouted 4-node run produced no forward hits — peer forwarding is not sharing the cache")
+	}
+	clusterSpeedup4 := clusterRPS["4"] / clusterRPS["1"]
+
 	m := srv.MetricsSnapshot()
-	hitRate, _ := m["cache_hit_rate"].(float64)
+	hitRate := m.CacheHitRate
 	res := serviceBenchResult{
 		RuleCompileMS:         ruleCompileMS,
 		FirstGeneratorMS:      firstGenMS,
@@ -536,6 +615,13 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		UseCases:              len(cases),
 		Workers:               workers,
 		Fingerprint:           srv.Registry().Snapshot().Fingerprint,
+		ClusterWorkingSet:     clusterWS,
+		ClusterCacheSize:      clusterCache,
+		ClusterRequests:       clusterReqs,
+		ClusterRPS:            clusterRPS,
+		ClusterSpeedup4:       clusterSpeedup4,
+		ForwardHitRate:        forwardHitRate,
+		ClusterNodeHitRates:   clusterHitRates,
 	}
 
 	fmt.Println("Service (cryptgend daemon): cold one-shot vs warm long-lived process")
@@ -555,6 +641,21 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		coalesceClients, res.Coalesced, res.CoalesceHits)
 	fmt.Printf("  resilience: %d worker panics recovered, %d requests shed, %.2f ms to first success after storm\n",
 		res.PanicsRecovered, res.ShedTotal, res.ShedRecoveryMS)
+	fmt.Printf("  cluster (working set %d keys vs per-node cache %d, %d reqs): 1 node %.0f req/s, 2 nodes %.0f, 4 nodes %.0f (%.1fx vs 1)\n",
+		res.ClusterWorkingSet, res.ClusterCacheSize, res.ClusterRequests,
+		res.ClusterRPS["1"], res.ClusterRPS["2"], res.ClusterRPS["4"], res.ClusterSpeedup4)
+	fmt.Printf("  cluster unrouted 4 nodes (daemon forwarding): %.0f req/s, forward hit rate %.2f\n",
+		res.ClusterRPS["4_unrouted"], res.ForwardHitRate)
+	for _, key := range []string{"1", "2", "4", "4_unrouted"} {
+		fmt.Printf("    per-node cache hit rate [%s]:", key)
+		for _, hr := range res.ClusterNodeHitRates[key] {
+			fmt.Printf(" %.2f", hr)
+		}
+		fmt.Println()
+	}
+	if res.ClusterSpeedup4 < 2 && !smoke {
+		fmt.Printf("  WARNING: 4-node cluster speedup %.2fx < 2x target\n", res.ClusterSpeedup4)
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

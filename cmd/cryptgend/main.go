@@ -40,6 +40,16 @@
 // embedded set; /v1/reload recompiles from that directory, so rules can be
 // edited live (a broken edit degrades, it does not crash).
 //
+// -peers URL,URL with -self URL runs the daemon as one node of a cluster:
+// a request whose cache key rendezvous-hashes to a peer is forwarded there
+// (one hop, X-Cryptgend-Forwarded) so the nodes' result caches and
+// singleflights shard by key — N nodes act as one large cache instead of N
+// copies of the same hot set. Peers are probed via /readyz every
+// -peer-probe; unreachable or draining peers are ejected from the
+// forwarding set (their keys served locally) and re-admitted on recovery.
+// forwarded_total, forward_hit_rate, and per-peer health appear in
+// /metrics.
+//
 // -faults SPEC (or CRYPTGEND_FAULTS) arms the internal/faultinject chaos
 // points — e.g. "worker-exec=panic:1,rule-compile=latency:50ms" — for
 // resilience drills against a live daemon. Disarmed points cost one atomic
@@ -60,6 +70,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -84,7 +95,22 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap on POST endpoints, 413 beyond it (0 = 4 MiB)")
 	rulesDir := flag.String("rules", "", "serve GoCrySL rules from this directory instead of the embedded set; /v1/reload recompiles from it")
 	faults := flag.String("faults", "", `arm chaos fault points, e.g. "worker-exec=panic:1,reload-swap=error" (also via CRYPTGEND_FAULTS)`)
+	self := flag.String("self", "", `this node's base URL as peers address it, e.g. "http://10.0.0.1:8572" (cluster mode; required with -peers)`)
+	peers := flag.String("peers", "", `comma-separated peer base URLs; enables peer forwarding so the cluster's result caches shard by key instead of duplicating`)
+	probe := flag.Duration("peer-probe", 2*time.Second, "peer /readyz probe interval (cluster mode)")
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			log.Fatal("-peers requires -self (the URL this node is listed under on the other nodes)")
+		}
+	}
 
 	spec := *faults
 	if spec == "" {
@@ -112,6 +138,10 @@ func main() {
 		MaxWaiters:     *maxWaiters,
 		MaxBodyBytes:   *maxBody,
 		Loader:         loader,
+
+		Self:              strings.TrimRight(*self, "/"),
+		Peers:             peerList,
+		PeerProbeInterval: *probe,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -121,6 +151,9 @@ func main() {
 		*addr, snap.Rules.Len(), snap.Fingerprint, *workers, *timeout)
 	if *rulesDir != "" {
 		log.Printf("rules loaded from %s (reload recompiles from disk)", *rulesDir)
+	}
+	if len(peerList) > 0 {
+		log.Printf("cluster mode: self %s, peers %v", *self, peerList)
 	}
 
 	// The service handler owns the whole path space by default; -pprof

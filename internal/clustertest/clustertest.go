@@ -1,0 +1,109 @@
+// Package clustertest boots N in-process cryptgend nodes wired as a
+// cluster: real service.Server instances behind real HTTP listeners on
+// loopback, each configured with the others as peers. The load generator,
+// the cluster smoke in scripts/verify.sh, and the client SDK's integration
+// tests all drive clusters through this package, so "a cluster" means the
+// same thing in every harness.
+//
+// The only trick is ordering: every node must know all URLs before any
+// node is constructed (Config.Peers is static), but ports are only known
+// once listeners exist. So the listeners are bound first (port 0), the
+// URL list derived from them, and then each server is created and attached
+// to its pre-bound listener.
+package clustertest
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+
+	"cognicryptgen/service"
+)
+
+// Node is one in-process cluster member.
+type Node struct {
+	// Srv is the node's daemon (pool, cache, forwarder).
+	Srv *service.Server
+	// HTTP is the node's listener; requests to URL exercise the full
+	// transport, exactly as a remote client or peer would.
+	HTTP *httptest.Server
+	// URL is the node's base URL — the string the other nodes list in
+	// their Peers and the rendezvous member name.
+	URL string
+}
+
+// Cluster is a set of in-process nodes forming one cryptgend cluster.
+// With n == 1 the node runs standalone (no peers, no forwarding), which is
+// the baseline configuration benchmarks compare against.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// Start boots n nodes. cfg is the per-node configuration; Self and Peers
+// are overwritten per node. Callers that need fast peer-health reaction
+// (tests, the load generator's failover runs) should set a short
+// PeerProbeInterval.
+func Start(n int, cfg service.Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clustertest: need at least one node, got %d", n)
+	}
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, prev := range listeners[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		nodeCfg := cfg
+		nodeCfg.Self = urls[i]
+		nodeCfg.Peers = nil
+		for j, u := range urls {
+			if j != i {
+				nodeCfg.Peers = append(nodeCfg.Peers, u)
+			}
+		}
+		srv, err := service.New(nodeCfg)
+		if err != nil {
+			c.Close()
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			return nil, err
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		c.Nodes = append(c.Nodes, &Node{Srv: srv, HTTP: ts, URL: urls[i]})
+	}
+	return c, nil
+}
+
+// URLs returns the nodes' base URLs in node order (the SDK's member list).
+func (c *Cluster) URLs() []string {
+	urls := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		urls[i] = n.URL
+	}
+	return urls
+}
+
+// Close stops every node: listeners first (so peers see connection
+// refused, not hangs), then the daemons.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.HTTP.CloseClientConnections()
+		n.HTTP.Close()
+	}
+	for _, n := range c.Nodes {
+		n.Srv.Close()
+	}
+}

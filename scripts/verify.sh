@@ -37,6 +37,17 @@ echo "==> fuzz smoke (10s per target)"
 go test -run NONE -fuzz 'FuzzParseRule' -fuzztime 10s ./crysl
 go test -run NONE -fuzz 'FuzzParseTemplate' -fuzztime 10s ./gen
 
+# Cluster smoke: 3 in-process nodes behind the client SDK must produce
+# byte-identical output to a standalone node for all 13 templates, and an
+# unrouted pass must show the daemons forwarding to cache owners
+# (forwarded_total > 0, exactly 13 generations cluster-wide). The wire
+# contract and the SDK's retry/routing state get an extra explicit pass
+# under -race on top of the package run above.
+echo "==> cluster smoke (3 nodes, SDK, forwarding)"
+go run ./cmd/loadgen -smoke
+echo "==> wire/client race pass"
+go test -race -count=1 ./wire ./client
+
 # Smoke the daemon benchmark end to end (batch + coalescing tables
 # included) without the full measurement repetitions. This doubles as the
 # cold-start regression gate: benchtables exits non-zero if subsequent

@@ -8,46 +8,14 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"cognicryptgen/wire"
 )
 
-// maxBatchItems bounds one POST /v1/generate/batch request. Large client
-// workloads split into multiple batches rather than one unbounded fan-out.
-const maxBatchItems = 256
-
-// BatchRequest is the body of POST /v1/generate/batch. Every item is
-// generated concurrently across the worker pool; items share the
-// whole-batch deadline (the server's request timeout), optionally
-// tightened per item by ItemTimeoutMS.
-type BatchRequest struct {
-	Requests []GenerateRequest `json:"requests"`
-	// ItemTimeoutMS, when positive, caps each item's generation time
-	// inside the whole-batch deadline, so one pathological template cannot
-	// spend the entire batch budget.
-	ItemTimeoutMS int `json:"item_timeout_ms,omitempty"`
-}
-
-// BatchItem is one per-item outcome. Items succeed and fail independently
-// (partial success): a malformed template fails its own slot while its
-// siblings generate.
-type BatchItem struct {
-	Index    int               `json:"index"`
-	OK       bool              `json:"ok"`
-	Response *GenerateResponse `json:"response,omitempty"`
-	Error    string            `json:"error,omitempty"`
-	// Status is the HTTP status the item would have received as a lone
-	// /v1/generate request (400 client error, 503 timeout/shutdown).
-	Status int `json:"status,omitempty"`
-}
-
-// BatchResponse is the body of a successful POST /v1/generate/batch. The
-// HTTP status is 200 whenever the batch itself was well-formed, even if
-// every item failed; clients inspect per-item OK/Status.
-type BatchResponse struct {
-	Results    []BatchItem `json:"results"`
-	Succeeded  int         `json:"succeeded"`
-	Failed     int         `json:"failed"`
-	DurationMS float64     `json:"duration_ms"`
-}
+// maxBatchItems bounds one POST /v1/generate/batch request; the limit is
+// part of the wire contract (the SDK's batch splitter sizes its per-node
+// slices against it), so the constant lives there.
+const maxBatchItems = wire.MaxBatchItems
 
 // GenerateBatch fans req.Requests out across the worker pool and collects
 // per-item results (used by POST /v1/generate/batch, the benchmark
@@ -103,28 +71,4 @@ func (s *Server) GenerateBatch(ctx context.Context, req BatchRequest) (BatchResp
 		}
 	}
 	return out, nil
-}
-
-func (s *Server) handleGenerateBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	s.metrics.batches.Add(1)
-	var req BatchRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	start := time.Now()
-	defer func() { s.metrics.observe(time.Since(start)) }()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	resp, err := s.GenerateBatch(ctx, req)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "generate batch: %v", err)
-		return
-	}
-	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -155,9 +155,7 @@ func TestCoalescingSingleGeneration(t *testing.T) {
 		}
 	}
 	m := srv.MetricsSnapshot()
-	misses, _ := m["cache_misses"].(int64)
-	hits, _ := m["cache_hits"].(int64)
-	coalesced, _ := m["coalesced"].(int64)
+	misses, hits, coalesced := m.CacheMisses, m.CacheHits, m.Coalesced
 	if misses != 1 {
 		t.Errorf("cache_misses = %d, want exactly 1 generation for %d concurrent identical requests", misses, n)
 	}
@@ -205,7 +203,7 @@ func TestBatchDuplicatesCoalesce(t *testing.T) {
 		}
 	}
 	m := srv.MetricsSnapshot()
-	if misses, _ := m["cache_misses"].(int64); misses != 1 {
+	if misses := m.CacheMisses; misses != 1 {
 		t.Errorf("cache_misses = %d, want 1 for a duplicate batch", misses)
 	}
 }

@@ -2,21 +2,12 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sync"
 )
 
-// cacheKey derives the result-cache key: the rule-set fingerprint (so a
-// reload with different rules invalidates everything), a hash of the
-// template source, and every option that influences the output.
-func cacheKey(fingerprint, name, source, pkg string, verify bool) string {
-	srcSum := sha256.Sum256([]byte(source))
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%t", fingerprint, name, hex.EncodeToString(srcSum[:]), pkg, verify)
-	return hex.EncodeToString(h.Sum(nil))
-}
+// The cache-key derivation lives in wire.CacheKey now: the key doubles as
+// the cluster routing key, so the daemon, the SDK's rendezvous router, and
+// the peer forwarder must share one definition.
 
 // resultCache is a mutex-guarded LRU of generation responses. Entries are
 // stored by value and returned by value, so callers may mark their copy

@@ -80,8 +80,8 @@ func TestChaosWorkerPanic(t *testing.T) {
 	}
 
 	m := srv.MetricsSnapshot()
-	if n, ok := m["panics_recovered"].(int64); !ok || n < 1 {
-		t.Errorf("panics_recovered = %v, want >= 1", m["panics_recovered"])
+	if n := m.PanicsRecovered; n < 1 {
+		t.Errorf("panics_recovered = %v, want >= 1", n)
 	}
 }
 
@@ -231,8 +231,8 @@ func TestChaosLatencyShedding(t *testing.T) {
 		t.Fatalf("no request was shed under saturation: statuses %v", statuses)
 	}
 	m := srv.MetricsSnapshot()
-	if n, ok := m["shed_total"].(int64); !ok || n < 1 {
-		t.Errorf("shed_total = %v, want >= 1", m["shed_total"])
+	if n := m.ShedTotal; n < 1 {
+		t.Errorf("shed_total = %v, want >= 1", n)
 	}
 
 	// Clear the fault: the daemon must recover on its own.

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cognicryptgen/wire"
+)
+
+// cluster is a node's view of its peers: the rendezvous member list,
+// per-peer health maintained by forward outcomes and a background /readyz
+// probe, and the HTTP client used for the peer channel.
+//
+// There is no membership protocol — the member list is static
+// configuration (Self + Peers), identical on every node, and rendezvous
+// hashing over it needs no coordination. Health is purely local: a node
+// that cannot reach a peer stops forwarding to it (generating locally
+// instead, at the cost of a duplicate cache entry) and re-admits it when
+// the probe sees /readyz succeed again. Two nodes may briefly disagree
+// about a third's health; the one-hop guard bounds the damage to a single
+// extra forward.
+type cluster struct {
+	self       string
+	peers      []string // excluding self, sorted order as configured
+	httpc      *http.Client
+	probeEvery time.Duration
+
+	mu    sync.Mutex
+	state map[string]*peerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+type peerState struct {
+	healthy   bool
+	failures  int64
+	forwarded int64
+	lastErr   string
+}
+
+func newCluster(self string, peers []string, probeEvery time.Duration) *cluster {
+	if probeEvery <= 0 {
+		probeEvery = 2 * time.Second
+	}
+	c := &cluster{
+		self:       self,
+		probeEvery: probeEvery,
+		state:      make(map[string]*peerState, len(peers)),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		httpc: &http.Client{
+			// Forwards ride the receiving request's context for cancellation;
+			// this timeout is the backstop for probe requests and leaked
+			// connections.
+			Timeout: 30 * time.Second,
+		},
+	}
+	for _, p := range peers {
+		if p == self || p == "" {
+			continue
+		}
+		// Peers start healthy: ejection is evidence-driven (a failed forward
+		// or probe), so a cluster booting in any order does not refuse to
+		// forward before the first probe tick.
+		c.state[p] = &peerState{healthy: true}
+	}
+	c.peers = make([]string, 0, len(c.state))
+	for p := range c.state {
+		c.peers = append(c.peers, p)
+	}
+	go c.probeLoop()
+	return c
+}
+
+func (c *cluster) close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		<-c.done
+	})
+}
+
+// members returns the current rendezvous member list: self plus every peer
+// believed healthy. Self is always a member — a node never forwards a key
+// it owns.
+func (c *cluster) members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make([]string, 0, len(c.peers)+1)
+	m = append(m, c.self)
+	for _, p := range c.peers {
+		if c.state[p].healthy {
+			m = append(m, p)
+		}
+	}
+	return m
+}
+
+// ownerPeer returns the healthy peer owning key under rendezvous hashing,
+// or "" when this node owns it (or no healthy peer does).
+func (c *cluster) ownerPeer(key string) string {
+	owner := wire.RendezvousOwner(key, c.members())
+	if owner == c.self {
+		return ""
+	}
+	return owner
+}
+
+// markForward records a forward attempt's outcome for peer health: a
+// transport-level failure ejects the peer immediately (the probe loop
+// re-admits it), while success clears any failure streak.
+func (c *cluster) markForward(peer string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.state[peer]
+	if !ok {
+		return
+	}
+	st.forwarded++
+	if err != nil {
+		st.healthy = false
+		st.failures++
+		st.lastErr = err.Error()
+		return
+	}
+	st.healthy = true
+	st.failures = 0
+	st.lastErr = ""
+}
+
+func (c *cluster) peerStatuses() map[string]wire.PeerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]wire.PeerStatus, len(c.state))
+	for p, st := range c.state {
+		out[p] = wire.PeerStatus{
+			Healthy:   st.healthy,
+			Failures:  st.failures,
+			Forwarded: st.forwarded,
+			LastError: st.lastErr,
+		}
+	}
+	return out
+}
+
+// probeLoop polls every peer's /readyz on a timer: ok or degraded (HTTP
+// 200) re-admits the peer into the forwarding set, draining (503) or an
+// unreachable listener ejects it.
+func (c *cluster) probeLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, p := range c.peers {
+			healthy, errMsg := c.probe(p)
+			c.mu.Lock()
+			st := c.state[p]
+			if healthy {
+				st.healthy = true
+				st.failures = 0
+				st.lastErr = ""
+			} else {
+				st.healthy = false
+				st.failures++
+				st.lastErr = errMsg
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *cluster) probe(peer string) (healthy bool, errMsg string) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/readyz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("readyz status %d", resp.StatusCode)
+	}
+	return true, ""
+}
+
+// forward sends req to the peer owning its cache key over the peer channel
+// (an ordinary POST /v1/generate carrying the wire.HeaderForwarded hop
+// guard) and interprets the outcome for the flight leader in runLeader:
+//
+//   - handled=true, err=nil: the peer answered; resp carries its output
+//     with Forwarded set. Counted as a forward hit when the owner served it
+//     without a fresh generation (cache or coalesced flight) — the
+//     shared-cache payoff the forward exists for.
+//   - handled=true, err=*wire.Error: the peer rejected the request
+//     terminally (e.g. 400 malformed template). The verdict is as valid
+//     here as there; re-running the same template locally would burn a
+//     worker to reproduce it. The envelope propagates to the client intact.
+//   - handled=false: transport failure or a retryable peer state (429
+//     overloaded, 503 draining). The caller generates locally
+//     (forward_fallbacks) and health tracking decides whether the peer
+//     stays in the member list.
+func (s *Server) forward(ctx context.Context, peer, name, src string, req wire.GenerateRequest) (resp wire.GenerateResponse, err error, handled bool) {
+	s.metrics.forwarded.Add(1)
+	// Forward the resolved template, not the UseCase reference: the peer
+	// must generate byte-identically to what this node would have produced,
+	// independent of any template-table drift.
+	body, merr := json.Marshal(wire.GenerateRequest{
+		Name:    name,
+		Source:  src,
+		Package: req.Package,
+		Verify:  req.Verify,
+	})
+	if merr != nil {
+		s.metrics.forwardFallbacks.Add(1)
+		return wire.GenerateResponse{}, nil, false
+	}
+	hreq, herr := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/generate", bytes.NewReader(body))
+	if herr != nil {
+		s.metrics.forwardFallbacks.Add(1)
+		return wire.GenerateResponse{}, nil, false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(wire.HeaderForwarded, s.cluster.self)
+	hresp, derr := s.cluster.httpc.Do(hreq)
+	if derr != nil {
+		s.cluster.markForward(peer, derr)
+		s.metrics.forwardFallbacks.Add(1)
+		return wire.GenerateResponse{}, nil, false
+	}
+	defer hresp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(hresp.Body, s.cfg.MaxBodyBytes+DefaultMaxBodyBytes))
+	if rerr != nil {
+		s.cluster.markForward(peer, rerr)
+		s.metrics.forwardFallbacks.Add(1)
+		return wire.GenerateResponse{}, nil, false
+	}
+	if hresp.StatusCode == http.StatusOK {
+		var out wire.GenerateResponse
+		if uerr := json.Unmarshal(data, &out); uerr != nil {
+			s.cluster.markForward(peer, fmt.Errorf("decoding forwarded response: %w", uerr))
+			s.metrics.forwardFallbacks.Add(1)
+			return wire.GenerateResponse{}, nil, false
+		}
+		s.cluster.markForward(peer, nil)
+		if out.Cached || out.Coalesced {
+			s.metrics.forwardHits.Add(1)
+		}
+		out.Forwarded = true
+		// The owner's serve-path flags are not this node's: the response was
+		// not served from *this* node's cache or flight.
+		out.Cached, out.Coalesced = false, false
+		return out, nil, true
+	}
+	var we wire.Error
+	if uerr := json.Unmarshal(data, &we); uerr != nil || we.Status == 0 {
+		we = *wire.NewError(hresp.StatusCode, "peer %s: status %d", peer, hresp.StatusCode)
+	}
+	if we.Retryable {
+		// 429/503: the peer is alive but cannot take the work now. Generate
+		// locally; only a draining peer (503) leaves the member list, and
+		// the probe loop re-admits it when /readyz recovers.
+		if we.Status == http.StatusServiceUnavailable {
+			s.cluster.markForward(peer, &we)
+		} else {
+			s.cluster.markForward(peer, nil)
+		}
+		s.metrics.forwardFallbacks.Add(1)
+		return wire.GenerateResponse{}, nil, false
+	}
+	// Terminal envelope (400 etc.): the peer's verdict stands.
+	s.cluster.markForward(peer, nil)
+	return wire.GenerateResponse{}, &we, true
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cognicryptgen/templates"
+	"cognicryptgen/wire"
+)
+
+// startCluster boots n in-process nodes wired as a cluster (the same
+// listener-first dance as internal/clustertest, duplicated here because a
+// white-box test in package service cannot import a helper that imports
+// service back).
+func startCluster(t *testing.T, n int) ([]*Server, []*httptest.Server, []string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	srvs := make([]*Server, n)
+	tss := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{Workers: 2, CacheSize: 64, PeerProbeInterval: 50 * time.Millisecond, Self: urls[i]}
+		for j, u := range urls {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, u)
+			}
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		srvs[i], tss[i] = srv, ts
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+	}
+	return srvs, tss, urls
+}
+
+// TestClusterSharedCacheByteIdentical is the cluster's core guarantee: the
+// same 13 templates, sent to every node of a 3-node cluster, come back
+// byte-identical to a standalone daemon — and each template is generated
+// exactly once across the whole cluster, because every key is served (via
+// one-hop forwarding) by the node that owns it.
+func TestClusterSharedCacheByteIdentical(t *testing.T) {
+	standalone, err := New(Config{Workers: 2, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standalone.Close()
+
+	srvs, tss, _ := startCluster(t, 3)
+	ctx := context.Background()
+	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
+	for _, uc := range cases {
+		want, err := standalone.Generate(ctx, wire.GenerateRequest{UseCase: uc.ID})
+		if err != nil {
+			t.Fatalf("standalone use case %d: %v", uc.ID, err)
+		}
+		for i, ts := range tss {
+			resp, body := postJSON(t, ts.URL+"/v1/generate", wire.GenerateRequest{UseCase: uc.ID})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("node %d use case %d: status %d: %s", i, uc.ID, resp.StatusCode, body)
+			}
+			var got wire.GenerateResponse
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Output != want.Output {
+				t.Fatalf("node %d use case %d: output differs from standalone", i, uc.ID)
+			}
+			if got.Fingerprint != want.Fingerprint {
+				t.Fatalf("node %d use case %d: fingerprint %s != standalone %s", i, uc.ID, got.Fingerprint, want.Fingerprint)
+			}
+		}
+	}
+
+	var misses, forwarded, forwardHits int64
+	for _, s := range srvs {
+		m := s.MetricsSnapshot()
+		misses += m.CacheMisses
+		forwarded += m.ForwardedTotal
+		forwardHits += m.ForwardHits
+		if m.ForwardFallbacks != 0 {
+			t.Errorf("node %s: %d forward fallbacks in a healthy cluster", m.Self, m.ForwardFallbacks)
+		}
+	}
+	// 39 requests (13 templates × 3 nodes), one generation per template:
+	// the cluster's caches shard, they do not duplicate.
+	if misses != int64(len(cases)) {
+		t.Errorf("cluster generated %d times for %d distinct templates — caches are duplicating, not sharding", misses, len(cases))
+	}
+	if forwarded == 0 {
+		t.Error("no request was forwarded: 3 nodes cannot all own every key")
+	}
+	if forwardHits == 0 {
+		t.Error("no forward was answered from the owner's cache")
+	}
+}
+
+// TestClusterHopGuard: a request arriving with the forwarded header must be
+// served locally even if the receiving node does not own its key —
+// otherwise two nodes with disagreeing member lists could bounce a request
+// forever.
+func TestClusterHopGuard(t *testing.T) {
+	srvs, tss, _ := startCluster(t, 2)
+	// Find a template owned by node 1, then send it to node 0 with the hop
+	// header already set: node 0 must generate locally, not re-forward.
+	snap := srvs[0].Registry().Snapshot()
+	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
+	var req wire.GenerateRequest
+	found := false
+	for _, uc := range cases {
+		key := wire.RouteKey(snap.Fingerprint, wire.GenerateRequest{UseCase: uc.ID})
+		if srvs[0].cluster.ownerPeer(key) != "" {
+			req = wire.GenerateRequest{UseCase: uc.ID}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no template hashes to the peer — rendezvous distribution is broken")
+	}
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, tss[0].URL+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(wire.HeaderForwarded, "http://test-origin")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got wire.GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Forwarded {
+		t.Error("hop-guarded request was forwarded again")
+	}
+	m := srvs[0].MetricsSnapshot()
+	if m.ForwardedTotal != 0 {
+		t.Errorf("node 0 forwarded %d requests; the hop guard must force local serving", m.ForwardedTotal)
+	}
+	if m.CacheMisses != 1 {
+		t.Errorf("node 0 cache_misses = %d, want 1 local generation", m.CacheMisses)
+	}
+}
+
+// TestClusterPeerDownFallback: when the owner of a key is unreachable, the
+// receiving node serves the request locally (forward_fallbacks) instead of
+// failing it, and ejects the dead peer so subsequent keys are owned
+// locally without paying a connect timeout each time.
+func TestClusterPeerDownFallback(t *testing.T) {
+	srvs, tss, _ := startCluster(t, 2)
+	// Kill node 1's listener; node 0 has no idea yet.
+	tss[1].CloseClientConnections()
+	tss[1].Close()
+
+	ctx := context.Background()
+	snap := srvs[0].Registry().Snapshot()
+	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
+	served := 0
+	for _, uc := range cases {
+		key := wire.RouteKey(snap.Fingerprint, wire.GenerateRequest{UseCase: uc.ID})
+		if srvs[0].cluster.ownerPeer(key) == "" {
+			continue // need keys the dead peer owns
+		}
+		resp, err := srvs[0].Generate(ctx, wire.GenerateRequest{UseCase: uc.ID})
+		if err != nil {
+			t.Fatalf("use case %d with dead owner: %v", uc.ID, err)
+		}
+		if resp.Forwarded {
+			t.Errorf("use case %d: response claims forwarded with the owner down", uc.ID)
+		}
+		served++
+		break
+	}
+	if served == 0 {
+		t.Fatal("no template hashes to the dead peer")
+	}
+	m := srvs[0].MetricsSnapshot()
+	if m.ForwardFallbacks < 1 {
+		t.Errorf("forward_fallbacks = %d, want >= 1", m.ForwardFallbacks)
+	}
+	ps := m.Peers[srvs[1].cfg.Self]
+	if ps.Healthy {
+		t.Error("dead peer still marked healthy after a failed forward")
+	}
+	// With the peer ejected, node 0 owns every key: no further forwards.
+	before := srvs[0].MetricsSnapshot().ForwardedTotal
+	for _, uc := range cases {
+		if _, err := srvs[0].Generate(ctx, wire.GenerateRequest{UseCase: uc.ID}); err != nil {
+			t.Fatalf("use case %d after ejection: %v", uc.ID, err)
+		}
+	}
+	if after := srvs[0].MetricsSnapshot().ForwardedTotal; after != before {
+		t.Errorf("ejected peer still receives forwards (%d -> %d)", before, after)
+	}
+}
+
+// TestClusterProbeEjectsAndReadmits drives the health prober directly: a
+// peer answering /readyz 503 (draining) leaves the member list; when it
+// answers 200 again it is re-admitted.
+func TestClusterProbeEjectsAndReadmits(t *testing.T) {
+	var draining atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c := newCluster("http://self", []string{peer.URL}, 20*time.Millisecond)
+	defer c.close()
+
+	inMembers := func() bool {
+		for _, m := range c.members() {
+			if m == peer.URL {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if inMembers() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %s", what)
+	}
+
+	waitFor(true, "a member while healthy")
+	draining.Store(true)
+	waitFor(false, "ejected while draining")
+	if st := c.peerStatuses()[peer.URL]; st.Healthy || st.LastError == "" {
+		t.Errorf("ejected peer status = %+v, want unhealthy with an error", st)
+	}
+	draining.Store(false)
+	waitFor(true, "re-admitted after recovery")
+	if st := c.peerStatuses()[peer.URL]; !st.Healthy || st.Failures != 0 {
+		t.Errorf("re-admitted peer status = %+v, want healthy with cleared failures", st)
+	}
+}

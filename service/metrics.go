@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cognicryptgen/wire"
 )
 
 // latencyWindow bounds the sliding window over which latency quantiles are
@@ -30,6 +32,10 @@ type metrics struct {
 	reloads     expvar.Int
 	panics      expvar.Int // panics recovered (worker, handler, batch, leader)
 	shed        expvar.Int // submissions rejected by admission control (429)
+
+	forwarded        expvar.Int // requests forwarded to the peer owning their key
+	forwardHits      expvar.Int // forwards answered from the owner's cache/flight
+	forwardFallbacks expvar.Int // forwards that failed and ran locally instead
 
 	mu        sync.Mutex
 	latencies []time.Duration // ring buffer, most recent latencyWindow
@@ -84,32 +90,41 @@ func (m *metrics) quantiles() (p50, p99 time.Duration) {
 	return window[idx(0.50)], window[idx(0.99)]
 }
 
-// snapshot renders all counters for GET /metrics.
-func (m *metrics) snapshot(queueDepth, queueWaiters, cacheEntries int) map[string]any {
+// snapshot renders all counters for GET /metrics as the typed wire shape.
+func (m *metrics) snapshot(queueDepth, queueWaiters, cacheEntries int) wire.Metrics {
 	p50, p99 := m.quantiles()
 	hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
-	return map[string]any{
-		"requests":          m.requests.Value(),
-		"generate_requests": m.generates.Value(),
-		"batch_requests":    m.batches.Value(),
-		"analyze_requests":  m.analyzes.Value(),
-		"errors":            m.errors.Value(),
-		"timeouts":          m.timeouts.Value(),
-		"cache_hits":        hits,
-		"cache_misses":      misses,
-		"cache_hit_rate":    hitRate,
-		"cache_entries":     cacheEntries,
-		"coalesced":         m.coalesced.Value(),
-		"reloads":           m.reloads.Value(),
-		"panics_recovered":  m.panics.Value(),
-		"shed_total":        m.shed.Value(),
-		"queue_depth":       queueDepth,
-		"queue_waiters":     queueWaiters,
-		"latency_p50_ms":    float64(p50) / float64(time.Millisecond),
-		"latency_p99_ms":    float64(p99) / float64(time.Millisecond),
+	fwd, fwdHits := m.forwarded.Value(), m.forwardHits.Value()
+	fwdRate := 0.0
+	if fwd > 0 {
+		fwdRate = float64(fwdHits) / float64(fwd)
+	}
+	return wire.Metrics{
+		Requests:         m.requests.Value(),
+		GenerateRequests: m.generates.Value(),
+		BatchRequests:    m.batches.Value(),
+		AnalyzeRequests:  m.analyzes.Value(),
+		Errors:           m.errors.Value(),
+		Timeouts:         m.timeouts.Value(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheHitRate:     hitRate,
+		CacheEntries:     cacheEntries,
+		Coalesced:        m.coalesced.Value(),
+		Reloads:          m.reloads.Value(),
+		PanicsRecovered:  m.panics.Value(),
+		ShedTotal:        m.shed.Value(),
+		QueueDepth:       queueDepth,
+		QueueWaiters:     queueWaiters,
+		LatencyP50MS:     float64(p50) / float64(time.Millisecond),
+		LatencyP99MS:     float64(p99) / float64(time.Millisecond),
+		ForwardedTotal:   fwd,
+		ForwardHits:      fwdHits,
+		ForwardFallbacks: m.forwardFallbacks.Value(),
+		ForwardHitRate:   fwdRate,
 	}
 }

@@ -2,15 +2,12 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"runtime"
 	"runtime/debug"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +18,7 @@ import (
 	"cognicryptgen/gen"
 	"cognicryptgen/internal/srccheck"
 	"cognicryptgen/templates"
+	"cognicryptgen/wire"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
@@ -55,20 +53,38 @@ type Config struct {
 	// Loader compiles the rule set at startup and on /v1/reload (nil =
 	// the embedded gca rules).
 	Loader func() (*crysl.RuleSet, error)
+
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8080")
+	// in cluster mode. Peers use it only for display; forwarding decisions
+	// hash Self against Peers, so it must be the same string the other
+	// nodes list in their Peers.
+	Self string
+	// Peers lists the other cluster nodes' base URLs. Non-empty enables
+	// peer forwarding: a request whose cache key hashes to a peer is
+	// forwarded there (one hop, wire.HeaderForwarded) so the cluster's
+	// caches and singleflights shard by key instead of duplicating.
+	Peers []string
+	// PeerProbeInterval paces the background /readyz probe that ejects
+	// unhealthy peers from the forwarding set and re-admits them on
+	// recovery (0 = 2s).
+	PeerProbeInterval time.Duration
 }
 
 // Server is the generation daemon: registry + worker pool + result cache
 // behind an HTTP JSON API. Create with New, expose via Handler, stop with
-// Close.
+// Close. Server implements the API interface; the HTTP glue lives in the
+// transport (transport.go), which serves both the public listener and the
+// cluster's peer-forwarding channel.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	pool     *Pool
-	cache    *resultCache
-	flights  *flightGroup
-	metrics  *metrics
-	mux      *http.ServeMux
-	started  time.Time
+	cfg       Config
+	registry  *Registry
+	pool      *Pool
+	cache     *resultCache
+	flights   *flightGroup
+	metrics   *metrics
+	transport *transport
+	cluster   *cluster
+	started   time.Time
 
 	// draining flips when Close begins; /readyz reports it so load
 	// balancers stop routing before the listener goes away.
@@ -83,6 +99,8 @@ type Server struct {
 	jitterMu   sync.Mutex
 	jitterRand *rand.Rand
 }
+
+var _ API = (*Server)(nil)
 
 // New compiles the rule set, warms the path cache, and starts the worker
 // pool. The shared type-check universe (the crypto façade's transitive
@@ -118,7 +136,6 @@ func New(cfg Config) (*Server, error) {
 		cache:      newResultCache(cfg.CacheSize),
 		flights:    newFlightGroup(),
 		metrics:    newMetrics(),
-		mux:        http.NewServeMux(),
 		started:    time.Now(),
 		jitterRand: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
@@ -133,15 +150,16 @@ func New(cfg Config) (*Server, error) {
 		},
 		OnAdmit: func() { s.shedStreak.Store(0) },
 	})
-	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
-	s.mux.HandleFunc("/v1/generate/batch", s.handleGenerateBatch)
-	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/v1/reload", s.handleReload)
-	s.mux.HandleFunc("/v1/rules", s.handleRules)
-	s.mux.HandleFunc("/v1/templates", s.handleTemplates)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.transport = newTransport(s, s.metrics, transportOptions{
+		maxBodyBytes:      cfg.MaxBodyBytes,
+		requestTimeout:    cfg.RequestTimeout,
+		retryAfterSeconds: s.retryAfterSeconds,
+		failStatus:        s.failStatus,
+		onPanic:           s.recordPanic,
+	})
+	if len(cfg.Peers) > 0 {
+		s.cluster = newCluster(cfg.Self, cfg.Peers, cfg.PeerProbeInterval)
+	}
 	return s, nil
 }
 
@@ -172,164 +190,60 @@ func (s *Server) retryAfterSeconds() int {
 	return base + j
 }
 
-// Handler returns the daemon's HTTP handler. Every request runs under a
-// panic guard: a panic that escapes a handler goroutine would otherwise
-// kill the whole process (net/http only protects its own serve goroutines,
-// and ours fan work out further), so it is recovered here into a 500 with
-// the panics_recovered counter bumped and the stack logged once per site.
+// Handler returns the daemon's HTTP handler (the transport over this
+// Server's API, with per-request panic guard and the wire.Error envelope
+// on every failure).
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.requests.Add(1)
-		defer func() {
-			if rec := recover(); rec != nil {
-				s.recordPanic("http "+r.URL.Path, rec, debug.Stack())
-				// If the handler already wrote headers this is a no-op body
-				// append; the client sees a truncated response either way.
-				s.writeError(w, http.StatusInternalServerError, "internal error")
-			}
-		}()
-		s.mux.ServeHTTP(w, r)
-	})
+	return s.transport.handler()
 }
 
 // Close drains the worker pool: queued requests finish, new submissions
 // fail with 503. /readyz flips to draining immediately so load balancers
-// stop routing. Call after the HTTP listener stopped accepting.
+// stop routing, and the peer prober stops. Call after the HTTP listener
+// stopped accepting.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.close()
+	}
 	s.pool.Close()
 }
 
 // Registry exposes the server's rule registry (tests, embedding).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// GenerateRequest is the body of POST /v1/generate. Exactly one of Source
-// or UseCase selects the template.
-type GenerateRequest struct {
-	// Name labels the template in diagnostics and reports (default
-	// "template.go", or the use case's file name).
-	Name string `json:"name,omitempty"`
-	// Source is the template source text.
-	Source string `json:"source,omitempty"`
-	// UseCase selects an embedded Table 1 / extension template by ID
-	// (1-13) instead of Source.
-	UseCase int `json:"usecase,omitempty"`
-	// Package overrides the output package name.
-	Package string `json:"package,omitempty"`
-	// Verify type-checks the generated file before responding.
-	Verify bool `json:"verify,omitempty"`
-}
-
-// GenerateResponse is the body of a successful POST /v1/generate.
-type GenerateResponse struct {
-	Name        string      `json:"name"`
-	Output      string      `json:"output"`
-	Report      *ReportJSON `json:"report,omitempty"`
-	Fingerprint string      `json:"ruleset_fingerprint"`
-	Cached      bool        `json:"cached"`
-	// Coalesced marks a response served from another request's in-flight
-	// generation (singleflight) rather than the cache or a fresh run.
-	Coalesced  bool    `json:"coalesced,omitempty"`
-	DurationMS float64 `json:"duration_ms"`
-}
-
-// ReportJSON mirrors gen.Report for the wire.
-type ReportJSON struct {
-	Template    string              `json:"template"`
-	Methods     []*MethodReportJSON `json:"methods,omitempty"`
-	Assumptions []string            `json:"assumptions,omitempty"`
-	PushedUp    []string            `json:"pushed_up,omitempty"`
-}
-
-// MethodReportJSON mirrors gen.MethodReport.
-type MethodReportJSON struct {
-	Name  string            `json:"name"`
-	Rules []*RuleReportJSON `json:"rules,omitempty"`
-}
-
-// RuleReportJSON mirrors gen.RuleReport.
-type RuleReportJSON struct {
-	Rule        string   `json:"rule"`
-	Path        []string `json:"path"`
-	Resolutions []string `json:"resolutions,omitempty"`
-}
-
-func reportJSON(r *gen.Report) *ReportJSON {
+func toWireReport(r *gen.Report) *wire.Report {
 	if r == nil {
 		return nil
 	}
-	out := &ReportJSON{
+	out := &wire.Report{
 		Template:    r.Template,
 		Assumptions: r.Assumptions,
 		PushedUp:    r.PushedUp,
 	}
 	for _, m := range r.Methods {
-		mj := &MethodReportJSON{Name: m.Name}
+		mj := &wire.MethodReport{Name: m.Name}
 		for _, rr := range m.Rules {
-			mj.Rules = append(mj.Rules, &RuleReportJSON{Rule: rr.Rule, Path: rr.Path, Resolutions: rr.Resolutions})
+			mj.Rules = append(mj.Rules, &wire.RuleReport{Rule: rr.Rule, Path: rr.Path, Resolutions: rr.Resolutions})
 		}
 		out.Methods = append(out.Methods, mj)
 	}
 	return out
 }
 
-// AnalyzeRequest is the body of POST /v1/analyze.
-type AnalyzeRequest struct {
-	Name   string `json:"name,omitempty"`
-	Source string `json:"source"`
-}
-
-// AnalyzeResponse is the body of a successful POST /v1/analyze.
-type AnalyzeResponse struct {
-	Name        string         `json:"name"`
-	Findings    []*FindingJSON `json:"findings"`
-	Assumptions []string       `json:"assumptions,omitempty"`
-	Fingerprint string         `json:"ruleset_fingerprint"`
-	DurationMS  float64        `json:"duration_ms"`
-}
-
-// FindingJSON mirrors analysis.Finding for the wire.
-type FindingJSON struct {
-	Kind     string `json:"kind"`
-	Rule     string `json:"rule"`
-	Function string `json:"function"`
-	Position string `json:"position"`
-	Message  string `json:"message"`
-}
-
-// errorResponse is the body of every non-2xx response.
-type errorResponse struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
-}
-
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	if status >= 400 {
-		s.metrics.errors.Add(1)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-	}
-	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Status: status})
-}
-
 // failStatus maps a pipeline error to an HTTP status: context expiry and
 // pool shutdown are 503 (retryable), admission-control shedding is 429
 // (retryable after the Retry-After hint), recovered panics are the
 // server's 500, everything else — malformed templates, rule violations —
-// is the client's 400.
+// is the client's 400. A *wire.Error (a peer's envelope passed through the
+// forwarder) keeps its own status.
 func (s *Server) failStatus(err error) int {
 	var ie *InternalError
 	var pe *gen.PanicError
+	var we *wire.Error
 	switch {
+	case errors.As(err, &we) && we.Status != 0:
+		return we.Status
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
 		return http.StatusServiceUnavailable
@@ -344,75 +258,108 @@ func (s *Server) failStatus(err error) int {
 	}
 }
 
-// decodeBody decodes a JSON request body under the configured size cap,
-// answering 413 (oversized) or 400 (malformed) itself. ok is false when a
-// response has already been written.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok bool) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
-			return false
-		}
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return false
-	}
-	return true
-}
-
-func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	s.metrics.generates.Add(1)
-	var req GenerateRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	if req.UseCase != 0 && req.Source != "" {
-		s.writeError(w, http.StatusBadRequest, "source and usecase are mutually exclusive")
-		return
-	}
-	start := time.Now()
-	defer func() { s.metrics.observe(time.Since(start)) }()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	resp, err := s.Generate(ctx, req)
+// ReloadRules recompiles the rule set and transactionally swaps it in
+// (POST /v1/reload).
+func (s *Server) ReloadRules() (wire.ReloadResponse, error) {
+	snap, err := s.registry.Reload()
 	if err != nil {
-		s.writeError(w, s.failStatus(err), "generate: %v", err)
-		return
+		return wire.ReloadResponse{}, err
 	}
-	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.writeJSON(w, http.StatusOK, resp)
+	s.metrics.reloads.Add(1)
+	return wire.ReloadResponse{
+		Fingerprint: snap.Fingerprint,
+		Version:     snap.Version,
+		Rules:       snap.Rules.Len(),
+	}, nil
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+// RulesInfo lists the compiled rules (GET /v1/rules).
+func (s *Server) RulesInfo() wire.RulesResponse {
+	snap := s.registry.Snapshot()
+	rules := make([]wire.RuleInfo, 0, snap.Rules.Len())
+	for _, rule := range snap.Rules.Rules() {
+		rules = append(rules, wire.RuleInfo{
+			Spec:           rule.SpecType(),
+			Events:         len(rule.Events),
+			DFAStates:      rule.DFA.NumStates,
+			AcceptingPaths: len(snap.Paths.Paths(rule, gen.DefaultMaxPaths)),
+		})
 	}
-	s.metrics.analyzes.Add(1)
-	var req AnalyzeRequest
-	if !s.decodeBody(w, r, &req) {
-		return
+	return wire.RulesResponse{
+		Fingerprint: snap.Fingerprint,
+		Version:     snap.Version,
+		Rules:       rules,
 	}
+}
+
+// TemplatesInfo lists the embedded use-case templates (GET /v1/templates).
+func (s *Server) TemplatesInfo() wire.TemplatesResponse {
+	var out wire.TemplatesResponse
+	for _, uc := range append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...) {
+		out.Templates = append(out.Templates, wire.TemplateInfo{ID: uc.ID, Name: uc.Name, File: uc.File, Sources: uc.Sources})
+	}
+	return out
+}
+
+// HealthInfo reports liveness (GET /healthz).
+func (s *Server) HealthInfo() wire.HealthResponse {
+	snap := s.registry.Snapshot()
+	return wire.HealthResponse{
+		Status:      "ok",
+		UptimeS:     time.Since(s.started).Seconds(),
+		Workers:     s.cfg.Workers,
+		Rules:       snap.Rules.Len(),
+		Fingerprint: snap.Fingerprint,
+		Version:     snap.Version,
+	}
+}
+
+// ReadyInfo is the readiness probe, distinct from /healthz liveness: a
+// live daemon can still be the wrong place to route traffic. It reports
+// one of three states — "ok", "degraded" (serving, but the last reload
+// failed and the last-good rule set is live instead of the operator's new
+// one, with the failed candidate's fingerprint and error), and "draining"
+// (Close has begun, stop routing — the transport serves it with 503).
+func (s *Server) ReadyInfo() wire.ReadyResponse {
+	if s.draining.Load() {
+		return wire.ReadyResponse{Status: wire.ReadyDraining}
+	}
+	snap := s.registry.Snapshot()
+	out := wire.ReadyResponse{
+		Status:      wire.ReadyOK,
+		Fingerprint: snap.Fingerprint,
+		Version:     snap.Version,
+	}
+	if h := s.registry.Health(); h.Degraded {
+		out.Status = wire.ReadyDegraded
+		out.LastError = h.LastError
+		out.FailedFingerprint = h.FailedFingerprint
+		out.FailedAt = h.FailedAt.UTC().Format(time.RFC3339)
+	}
+	return out
+}
+
+// MetricsSnapshot returns the current counters as served by GET /metrics
+// (benchmark harnesses consume this without going through HTTP).
+func (s *Server) MetricsSnapshot() wire.Metrics {
+	m := s.metrics.snapshot(s.pool.QueueDepth(), s.pool.Waiters(), s.cache.len())
+	if s.cluster != nil {
+		m.Self = s.cluster.self
+		m.Peers = s.cluster.peerStatuses()
+	}
+	return m
+}
+
+// AnalyzeJSON runs the misuse analyzer over one source file
+// (POST /v1/analyze).
+func (s *Server) AnalyzeJSON(ctx context.Context, req wire.AnalyzeRequest) (wire.AnalyzeResponse, error) {
 	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, "need source")
-		return
+		return wire.AnalyzeResponse{}, errors.New("need source")
 	}
 	name := req.Name
 	if name == "" {
 		name = "input.go"
 	}
-
-	start := time.Now()
-	defer func() { s.metrics.observe(time.Since(start)) }()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 	v, err := s.pool.Submit(ctx, func(_ context.Context, worker *Worker) (any, error) {
 		an, err := worker.Analyzer()
 		if err != nil {
@@ -422,14 +369,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		resp := AnalyzeResponse{
+		resp := wire.AnalyzeResponse{
 			Name:        name,
-			Findings:    []*FindingJSON{},
+			Findings:    []*wire.Finding{},
 			Assumptions: rep.Assumptions,
 			Fingerprint: worker.Snapshot().Fingerprint,
 		}
 		for _, f := range rep.Findings {
-			resp.Findings = append(resp.Findings, &FindingJSON{
+			resp.Findings = append(resp.Findings, &wire.Finding{
 				Kind:     f.Kind.String(),
 				Rule:     f.Rule,
 				Function: f.Function,
@@ -440,129 +387,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
-		s.writeError(w, s.failStatus(err), "analyze %s: %v", name, err)
-		return
+		return wire.AnalyzeResponse{}, err
 	}
-	resp := v.(AnalyzeResponse)
-	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	// The reload body is ignored today, but cap it anyway so a confused
-	// client streaming a rule archive here cannot balloon memory.
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	snap, err := s.registry.Reload()
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "reload: %v", err)
-		return
-	}
-	s.metrics.reloads.Add(1)
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ruleset_fingerprint": snap.Fingerprint,
-		"version":             snap.Version,
-		"rules":               snap.Rules.Len(),
-	})
-}
-
-// ruleInfo is one row of GET /v1/rules.
-type ruleInfo struct {
-	Spec           string `json:"spec"`
-	Events         int    `json:"events"`
-	DFAStates      int    `json:"dfa_states"`
-	AcceptingPaths int    `json:"accepting_paths"`
-}
-
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	snap := s.registry.Snapshot()
-	rules := make([]ruleInfo, 0, snap.Rules.Len())
-	for _, rule := range snap.Rules.Rules() {
-		rules = append(rules, ruleInfo{
-			Spec:           rule.SpecType(),
-			Events:         len(rule.Events),
-			DFAStates:      rule.DFA.NumStates,
-			AcceptingPaths: len(snap.Paths.Paths(rule, gen.DefaultMaxPaths)),
-		})
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ruleset_fingerprint": snap.Fingerprint,
-		"version":             snap.Version,
-		"rules":               rules,
-	})
-}
-
-func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	type tmplInfo struct {
-		ID      int      `json:"id"`
-		Name    string   `json:"name"`
-		File    string   `json:"file"`
-		Sources []string `json:"sources,omitempty"`
-	}
-	var out []tmplInfo
-	for _, uc := range append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...) {
-		out = append(out, tmplInfo{ID: uc.ID, Name: uc.Name, File: uc.File, Sources: uc.Sources})
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"templates": out})
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.registry.Snapshot()
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":              "ok",
-		"uptime_s":            time.Since(s.started).Seconds(),
-		"workers":             s.cfg.Workers,
-		"rules":               snap.Rules.Len(),
-		"ruleset_fingerprint": snap.Fingerprint,
-		"ruleset_version":     snap.Version,
-	})
-}
-
-// handleReadyz is the readiness probe, distinct from /healthz liveness:
-// a live daemon can still be the wrong place to route traffic. It reports
-// one of three states — "ok" (200), "degraded" (200: serving, but the last
-// reload failed and the last-good rule set is live instead of the
-// operator's new one, with the failed candidate's fingerprint and error),
-// and "draining" (503: Close has begun, stop routing).
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-		return
-	}
-	snap := s.registry.Snapshot()
-	body := map[string]any{
-		"status":              "ok",
-		"ruleset_fingerprint": snap.Fingerprint,
-		"ruleset_version":     snap.Version,
-	}
-	if h := s.registry.Health(); h.Degraded {
-		body["status"] = "degraded"
-		body["last_error"] = h.LastError
-		body["failed_fingerprint"] = h.FailedFingerprint
-		body["failed_at"] = h.FailedAt.UTC().Format(time.RFC3339)
-	}
-	s.writeJSON(w, http.StatusOK, body)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
-}
-
-// MetricsSnapshot returns the current counters as served by GET /metrics
-// (benchmark harnesses consume this without going through HTTP).
-func (s *Server) MetricsSnapshot() map[string]any {
-	return s.metrics.snapshot(s.pool.QueueDepth(), s.pool.Waiters(), s.cache.len())
+	return v.(wire.AnalyzeResponse), nil
 }
 
 // Analyze runs the analyzer in-process, bypassing HTTP (used by the
@@ -585,22 +412,33 @@ func (s *Server) Analyze(ctx context.Context, name, src string) (*analysis.Repor
 // same pool, cache, and coalescing as the API (used by the batch endpoint,
 // the benchmark harness, and embedders).
 //
-// The request path is: result-cache lookup → singleflight join → worker
-// pool. N concurrent identical cache misses submit exactly one generation;
-// the followers wait on the leader's flight and count toward the
-// `coalesced` metric. A follower whose leader fails with the *leader's*
-// cancellation (or pool shutdown) retries with its own still-live context
-// instead of inheriting an error it did not cause.
-func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateResponse, error) {
+// The request path is: result-cache lookup → singleflight join → peer
+// forward or worker pool. N concurrent identical cache misses submit
+// exactly one generation; the followers wait on the leader's flight and
+// count toward the `coalesced` metric. A follower whose leader fails with
+// the *leader's* cancellation (or pool shutdown) retries with its own
+// still-live context instead of inheriting an error it did not cause.
+//
+// In cluster mode the flight leader first checks which node the key
+// rendezvous-hashes to: if a healthy peer owns it and this request has not
+// already taken its one forwarding hop, the leader forwards instead of
+// generating, and the whole coalesced cohort shares the peer's answer.
+// Forwarded responses are deliberately NOT cached locally — each key is
+// cached only at its owner, which is what makes N nodes one effective
+// cache instead of N copies of the same hot set.
+func (s *Server) Generate(ctx context.Context, req wire.GenerateRequest) (wire.GenerateResponse, error) {
+	if req.UseCase != 0 && req.Source != "" {
+		return wire.GenerateResponse{}, errors.New("source and usecase are mutually exclusive")
+	}
 	name, src := req.Name, req.Source
 	if req.UseCase != 0 {
 		uc, err := templates.ByID(req.UseCase)
 		if err != nil {
-			return GenerateResponse{}, err
+			return wire.GenerateResponse{}, err
 		}
 		ucSrc, err := templates.Source(uc)
 		if err != nil {
-			return GenerateResponse{}, err
+			return wire.GenerateResponse{}, err
 		}
 		name, src = uc.File, ucSrc
 	}
@@ -608,11 +446,11 @@ func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateRes
 		name = "template.go"
 	}
 	if strings.TrimSpace(src) == "" {
-		return GenerateResponse{}, errors.New("service: need source or usecase")
+		return wire.GenerateResponse{}, errors.New("service: need source or usecase")
 	}
 	for {
 		snap := s.registry.Snapshot()
-		key := cacheKey(snap.Fingerprint, name, src, req.Package, req.Verify)
+		key := wire.CacheKey(snap.Fingerprint, name, src, req.Package, req.Verify)
 		if resp, ok := s.cache.get(key); ok {
 			s.metrics.cacheHits.Add(1)
 			resp.Cached = true
@@ -624,7 +462,7 @@ func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateRes
 			select {
 			case <-f.done:
 			case <-ctx.Done():
-				return GenerateResponse{}, ctx.Err()
+				return wire.GenerateResponse{}, ctx.Err()
 			}
 			if f.err == nil {
 				resp := f.resp
@@ -634,37 +472,53 @@ func (s *Server) Generate(ctx context.Context, req GenerateRequest) (GenerateRes
 			if retryableFlightErr(f.err) && ctx.Err() == nil {
 				continue
 			}
-			return GenerateResponse{}, f.err
+			return wire.GenerateResponse{}, f.err
 		}
-		s.metrics.cacheMisses.Add(1)
 		return s.runLeader(ctx, key, f, name, src, req)
 	}
 }
 
-// runLeader executes a singleflight leader's generation. The flight is
-// finished in a defer, unconditionally: whatever happens on this path —
-// including a panic between pool submission and cache population — the
-// followers parked on f.done are woken with a result or an error, never
-// left waiting on a flight whose leader is gone.
-func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src string, req GenerateRequest) (resp GenerateResponse, err error) {
+// runLeader executes a singleflight leader's generation (or peer forward).
+// The flight is finished in a defer, unconditionally: whatever happens on
+// this path — including a panic between pool submission and cache
+// population — the followers parked on f.done are woken with a result or
+// an error, never left waiting on a flight whose leader is gone.
+func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src string, req wire.GenerateRequest) (resp wire.GenerateResponse, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			stack := debug.Stack()
 			s.recordPanic("generate-leader", rec, stack)
-			resp, err = GenerateResponse{}, &InternalError{Op: "generate-leader", Value: rec, Stack: stack}
+			resp, err = wire.GenerateResponse{}, &InternalError{Op: "generate-leader", Value: rec, Stack: stack}
 		}
 		s.flights.finish(key, f, resp, err)
 	}()
+	// Cluster: forward to the key's owner if that is a healthy peer and the
+	// request has not already hopped. A definitive peer answer (success or
+	// the peer's own terminal error envelope) is the whole flight's result;
+	// a transport failure falls back to generating locally.
+	if s.cluster != nil && !isPeerHop(ctx) {
+		if owner := s.cluster.ownerPeer(key); owner != "" {
+			fwd, ferr, handled := s.forward(ctx, owner, name, src, req)
+			if handled {
+				return fwd, ferr
+			}
+		}
+	}
+	// cache_misses counts local generations, not local cache lookups that
+	// missed: a forwarded request is the owner's miss (or hit), not this
+	// node's, so the cluster-wide sum of cache_misses equals the number of
+	// distinct generations actually run.
+	s.metrics.cacheMisses.Add(1)
 	v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
 		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
 		res, err := g.GenerateFileCtx(ctx, name, src)
 		if err != nil {
 			return nil, err
 		}
-		return GenerateResponse{
+		return wire.GenerateResponse{
 			Name:        name,
 			Output:      res.Output,
-			Report:      reportJSON(res.Report),
+			Report:      toWireReport(res.Report),
 			Fingerprint: worker.Snapshot().Fingerprint,
 		}, nil
 	})
@@ -676,12 +530,12 @@ func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src
 		if errors.As(err, &pe) {
 			s.metrics.panics.Add(1)
 		}
-		return GenerateResponse{}, err
+		return wire.GenerateResponse{}, err
 	}
-	resp = v.(GenerateResponse)
+	resp = v.(wire.GenerateResponse)
 	// Populate the cache before releasing the flight so a request landing
 	// between the two sees one or the other, never a fresh miss.
-	s.cache.put(cacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
+	s.cache.put(wire.CacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
 	return resp, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"cognicryptgen/gen"
 	"cognicryptgen/rules"
 	"cognicryptgen/templates"
+	"cognicryptgen/wire"
 )
 
 var (
@@ -161,12 +162,12 @@ func TestGenerateMalformedTemplate400(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, body)
 	}
-	var e errorResponse
+	var e wire.Error
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
-	if e.Status != http.StatusBadRequest || e.Error == "" {
-		t.Errorf("error body = %+v, want status 400 with a message", e)
+	if e.Status != http.StatusBadRequest || e.Message == "" || e.Code != wire.CodeInvalidRequest {
+		t.Errorf("error body = %+v, want an invalid_request envelope with a message", e)
 	}
 }
 

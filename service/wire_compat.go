@@ -1,0 +1,21 @@
+package service
+
+import "cognicryptgen/wire"
+
+// The request/response shapes moved to the wire package (the shared
+// daemon/SDK/tooling contract); these aliases keep the service package's
+// historical names working for embedders and tests. New code should use
+// the wire types directly.
+type (
+	GenerateRequest  = wire.GenerateRequest
+	GenerateResponse = wire.GenerateResponse
+	ReportJSON       = wire.Report
+	MethodReportJSON = wire.MethodReport
+	RuleReportJSON   = wire.RuleReport
+	AnalyzeRequest   = wire.AnalyzeRequest
+	AnalyzeResponse  = wire.AnalyzeResponse
+	FindingJSON      = wire.Finding
+	BatchRequest     = wire.BatchRequest
+	BatchItem        = wire.BatchItem
+	BatchResponse    = wire.BatchResponse
+)

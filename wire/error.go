@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Every non-2xx response from a cryptgend node carries an
+// Error envelope whose Code is one of these; the Retryable flag tells
+// clients whether repeating the identical request can succeed (429 after
+// the Retry-After hint, 503 after the node drains or the deadline clears).
+const (
+	CodeInvalidRequest   = "invalid_request"    // 400: the request itself is wrong
+	CodeNotFound         = "not_found"          // 404
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeBodyTooLarge     = "body_too_large"     // 413
+	CodeOverloaded       = "overloaded"         // 429: shed by admission control
+	CodeInternal         = "internal"           // 500: recovered panic / reload failure
+	CodeUnavailable      = "unavailable"        // 503: draining, timeout, shutdown
+)
+
+// Error is the JSON body of every non-2xx response — one envelope across
+// /v1/generate, /v1/generate/batch, /v1/analyze, and /v1/reload, instead
+// of the ad-hoc per-handler shapes it replaced. A 429 additionally carries
+// RetryAfterMS mirroring (at millisecond precision) the Retry-After header
+// the daemon sets, so SDKs honor the server's jittered backoff hint
+// without parsing headers.
+type Error struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	// RetryAfterMS is the server's backoff hint for retryable errors
+	// (currently set on 429s, matching the Retry-After header).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Status is the HTTP status the envelope was served with.
+	Status int `json:"status"`
+}
+
+// Error implements the error interface, so an SDK can return a decoded
+// envelope directly.
+func (e *Error) Error() string {
+	return fmt.Sprintf("cryptgend: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// CodeForStatus maps an HTTP status to its envelope code and default
+// retryability: 429 and 503 are the transient classes worth repeating,
+// everything else is terminal for the identical request.
+func CodeForStatus(status int) (code string, retryable bool) {
+	switch status {
+	case http.StatusNotFound:
+		return CodeNotFound, false
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed, false
+	case http.StatusRequestEntityTooLarge:
+		return CodeBodyTooLarge, false
+	case http.StatusTooManyRequests:
+		return CodeOverloaded, true
+	case http.StatusInternalServerError:
+		return CodeInternal, false
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable, true
+	default:
+		return CodeInvalidRequest, false
+	}
+}
+
+// NewError builds the envelope for an HTTP status with CodeForStatus
+// defaults.
+func NewError(status int, format string, args ...any) *Error {
+	code, retryable := CodeForStatus(status)
+	return &Error{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryable,
+		Status:    status,
+	}
+}

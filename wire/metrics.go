@@ -1,0 +1,56 @@
+package wire
+
+// Metrics is the body of GET /metrics: the daemon's counters as one typed
+// snapshot, shared by the daemon (which fills it), the SDK (which decodes
+// it), and the load generator (which diffs before/after snapshots into
+// per-node benchmark rows).
+type Metrics struct {
+	Requests         int64   `json:"requests"`
+	GenerateRequests int64   `json:"generate_requests"`
+	BatchRequests    int64   `json:"batch_requests"`
+	AnalyzeRequests  int64   `json:"analyze_requests"`
+	Errors           int64   `json:"errors"`
+	Timeouts         int64   `json:"timeouts"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEntries     int     `json:"cache_entries"`
+	Coalesced        int64   `json:"coalesced"`
+	Reloads          int64   `json:"reloads"`
+	PanicsRecovered  int64   `json:"panics_recovered"`
+	ShedTotal        int64   `json:"shed_total"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueWaiters     int     `json:"queue_waiters"`
+	LatencyP50MS     float64 `json:"latency_p50_ms"`
+	LatencyP99MS     float64 `json:"latency_p99_ms"`
+
+	// Cluster counters (zero when the node runs without peers).
+
+	// ForwardedTotal counts requests this node forwarded to the peer
+	// owning their cache key.
+	ForwardedTotal int64 `json:"forwarded_total"`
+	// ForwardHits counts forwarded requests the owner answered from its
+	// cache or an in-flight generation — the shared-cache payoff.
+	ForwardHits int64 `json:"forward_hits"`
+	// ForwardFallbacks counts forwards that failed (peer down, draining,
+	// overloaded) and were generated locally instead.
+	ForwardFallbacks int64 `json:"forward_fallbacks"`
+	// ForwardHitRate is ForwardHits / ForwardedTotal.
+	ForwardHitRate float64 `json:"forward_hit_rate"`
+	// Self is this node's advertised base URL in cluster mode.
+	Self string `json:"self,omitempty"`
+	// Peers maps each peer base URL to its health as seen by this node.
+	Peers map[string]PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerStatus is one peer's health as tracked by a node's forwarder.
+type PeerStatus struct {
+	Healthy bool `json:"healthy"`
+	// Failures counts consecutive probe/forward failures since the peer
+	// was last seen healthy.
+	Failures int64 `json:"failures"`
+	// Forwarded counts requests this node forwarded to the peer.
+	Forwarded int64 `json:"forwarded"`
+	// LastError is the most recent failure, empty while healthy.
+	LastError string `json:"last_error,omitempty"`
+}
