@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,6 +30,9 @@ type fakeNode struct {
 	// script, when set, handles /v1/generate instead of the echo (return
 	// true when it wrote the response).
 	script func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool
+	// batchScript is the same hook for /v1/generate/batch; n counts batch
+	// requests seen so far (this one included).
+	batchScript func(w http.ResponseWriter, n int, req wire.BatchRequest) bool
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
@@ -55,7 +60,12 @@ func newFakeNode(t *testing.T) *fakeNode {
 		json.NewDecoder(r.Body).Decode(&req)
 		f.mu.Lock()
 		f.batches = append(f.batches, req.Requests)
+		n := len(f.batches)
+		batchScript := f.batchScript
 		f.mu.Unlock()
+		if batchScript != nil && batchScript(w, n, req) {
+			return
+		}
 		resp := wire.BatchResponse{}
 		for i, item := range req.Requests {
 			resp.Results = append(resp.Results, wire.BatchItem{
@@ -413,5 +423,70 @@ func TestProbeEjectsAndReadmits(t *testing.T) {
 	waitHealth(true, "re-admitted after recovery")
 	if c.Fingerprint() != "fp-probe" {
 		t.Errorf("fingerprint = %q, want the probe to have learned %q", c.Fingerprint(), "fp-probe")
+	}
+}
+
+// TestBatchRetryReassembly: GenerateBatch shards a batch into per-owner
+// sub-batches that run concurrently; when one owner sheds its sub-batch
+// with 429 and the retry succeeds, every result must still land at its
+// original request index — in order, none duplicated, none lost. Run
+// under -race (scripts/verify.sh does), this also exercises the
+// concurrent writes into the shared results slice.
+func TestBatchRetryReassembly(t *testing.T) {
+	stable := newFakeNode(t)
+	flaky := newFakeNode(t)
+	var flakyBatches atomic.Int64
+	flaky.batchScript = func(w http.ResponseWriter, n int, req wire.BatchRequest) bool {
+		if flakyBatches.Add(1) == 1 {
+			e := wire.NewError(http.StatusTooManyRequests, "queue full")
+			e.RetryAfterMS = 20
+			writeEnvelope(w, e)
+			return true
+		}
+		return false
+	}
+	// Round-robin routing interleaves the two owners: even indices go to
+	// stable, odd to flaky, so the retried sub-batch's results must be
+	// stitched back between the other owner's.
+	c := mustClient(t, Config{
+		Nodes:          []string{stable.ts.URL, flaky.ts.URL},
+		DisableRouting: true,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	})
+	var reqs []wire.GenerateRequest
+	for i := 0; i < 9; i++ {
+		reqs = append(reqs, wire.GenerateRequest{Name: fmt.Sprintf("b%02d.go", i), Source: "package p"})
+	}
+	resp, err := c.GenerateBatch(context.Background(), wire.BatchRequest{Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(resp.Results), len(reqs))
+	}
+	if resp.Succeeded != len(reqs) {
+		t.Fatalf("succeeded = %d, want %d (no item may be lost to the retried sub-batch)", resp.Succeeded, len(reqs))
+	}
+	seen := map[string]int{}
+	for i, item := range resp.Results {
+		if !item.OK || item.Response == nil {
+			t.Fatalf("result %d not OK: %+v", i, item)
+		}
+		if item.Index != i {
+			t.Errorf("result %d carries index %d", i, item.Index)
+		}
+		if item.Response.Name != reqs[i].Name {
+			t.Errorf("result %d reassembled out of order: got %q, want %q", i, item.Response.Name, reqs[i].Name)
+		}
+		seen[item.Response.Name]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("result %q appears %d times, want exactly once", name, n)
+		}
+	}
+	if n := flakyBatches.Load(); n < 2 {
+		t.Errorf("flaky node saw %d batch requests, want >= 2 (the shed sub-batch must be retried)", n)
 	}
 }

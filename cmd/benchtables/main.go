@@ -262,6 +262,10 @@ type serviceBenchResult struct {
 	ColdSingleShotMS      float64 `json:"cold_single_shot_ms"`
 	WarmCachedMS          float64 `json:"warm_cached_ms"`
 	WarmUncachedMS        float64 `json:"warm_uncached_ms"`
+	WarmUncachedPlanMS    float64 `json:"warm_uncached_plan_ms"`
+	PlanSpeedup           float64 `json:"plan_speedup"`
+	PlanHits              int64   `json:"plan_hits"`
+	PlanMisses            int64   `json:"plan_misses"`
 	Speedup               float64 `json:"cold_vs_warm_speedup"`
 	ThroughputRPS    float64 `json:"throughput_rps"`
 	BatchItemsPerS   float64 `json:"batch_items_per_s"`
@@ -386,16 +390,38 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	}
 	warmMS := float64(time.Since(warmStart)) / float64(time.Millisecond) / float64(warmRuns)
 
-	// Warm uncached latency: unique template names defeat the result
-	// cache but keep the compiled-rule registry and path cache.
+	// Warm uncached latency, legacy pipeline: unique template *bodies*
+	// defeat the result cache AND the plan cache, so every request pays
+	// the full parse → resolve → emit → print pipeline over the warm
+	// registry and path cache. (Unique names alone no longer measure
+	// this: one body under many names is exactly the workload the plan
+	// cache serves by byte splicing.)
 	uncachedStart := time.Now()
 	for i := 0; i < uncachedRuns; i++ {
-		req := service.GenerateRequest{Name: fmt.Sprintf("uniq%d.go", i), Source: src}
+		req := service.GenerateRequest{
+			Name:   fmt.Sprintf("uniq%d.go", i),
+			Source: src + fmt.Sprintf("\n// uncached %d\n", i),
+		}
 		if _, err := srv.Generate(ctx, req); err != nil {
 			log.Fatal(err)
 		}
 	}
 	uncachedMS := float64(time.Since(uncachedStart)) / float64(time.Millisecond) / float64(uncachedRuns)
+
+	// Warm uncached latency, plan path (E12): unique names over one warm
+	// body miss the result cache but execute the precompiled plan — two
+	// byte copies instead of AST assembly. The plan is resident from the
+	// warm-up above, so every iteration is the steady-state splice.
+	planRuns := warmRuns
+	planStart := time.Now()
+	for i := 0; i < planRuns; i++ {
+		req := service.GenerateRequest{Name: fmt.Sprintf("planuniq%d.go", i), Source: src}
+		if _, err := srv.Generate(ctx, req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	planMS := float64(time.Since(planStart)) / float64(time.Millisecond) / float64(planRuns)
+	planSpeedup := uncachedMS / planMS
 
 	// Throughput: clients × perClient requests over all 13 use cases.
 	var wg sync.WaitGroup
@@ -470,7 +496,10 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		go func() {
 			defer coWG.Done()
 			<-coStart
-			req := service.GenerateRequest{Name: "coalesce_bench.go", Source: src}
+			// A body no plan was ever compiled for: the leader must take
+			// the worker path (where the latency fault is armed) rather
+			// than serve an inline byte splice, or no follower coalesces.
+			req := service.GenerateRequest{Name: "coalesce_bench.go", Source: src + "\n// coalesce stage\n"}
 			if _, err := cosrv.Generate(ctx, req); err != nil {
 				log.Fatal(err)
 			}
@@ -501,14 +530,18 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_warm.go", Source: src}); err != nil {
+	// Every resilience request carries a unique body: the faults under
+	// test live on the worker path, and a body matching a resident plan
+	// would be byte-spliced inline without ever reaching the pool.
+	resSrc := func(tag string) string { return src + "\n// resilience: " + tag + "\n" }
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_warm.go", Source: resSrc("warm")}); err != nil {
 		log.Fatal(err)
 	}
 	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModePanic, Times: 1})
-	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_panic.go", Source: src}); err == nil {
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_panic.go", Source: resSrc("panic")}); err == nil {
 		log.Fatal("injected worker panic did not fail its request")
 	}
-	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_after_panic.go", Source: src}); err != nil {
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_after_panic.go", Source: resSrc("after_panic")}); err != nil {
 		log.Fatalf("generation after recovered worker panic: %v", err)
 	}
 	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModeLatency, Latency: 100 * time.Millisecond})
@@ -518,13 +551,13 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		go func(i int) {
 			defer shedWG.Done()
 			// Shed requests fail with 429-mapped errors by design.
-			_, _ = resrv.Generate(ctx, service.GenerateRequest{Name: fmt.Sprintf("res_storm%d.go", i), Source: src})
+			_, _ = resrv.Generate(ctx, service.GenerateRequest{Name: fmt.Sprintf("res_storm%d.go", i), Source: resSrc(fmt.Sprintf("storm%d", i))})
 		}(i)
 	}
 	shedWG.Wait()
 	faultinject.Reset()
 	recoverStart := time.Now()
-	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_recover.go", Source: src}); err != nil {
+	if _, err := resrv.Generate(ctx, service.GenerateRequest{Name: "res_recover.go", Source: resSrc("recover")}); err != nil {
 		log.Fatalf("generation after shedding storm: %v", err)
 	}
 	shedRecoveryMS := float64(time.Since(recoverStart)) / float64(time.Millisecond)
@@ -599,6 +632,10 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		ColdSingleShotMS:      coldMS,
 		WarmCachedMS:          warmMS,
 		WarmUncachedMS:        uncachedMS,
+		WarmUncachedPlanMS:    planMS,
+		PlanSpeedup:           planSpeedup,
+		PlanHits:              m.PlanHits,
+		PlanMisses:            m.PlanMisses,
 		Speedup:               coldMS / warmMS,
 		ThroughputRPS:         rps,
 		BatchItemsPerS:        batchItemsPerS,
@@ -632,7 +669,9 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	fmt.Printf("  registry reload (recompile + path warm):     %10.2f ms\n", res.ReloadMS)
 	fmt.Printf("  cold single-shot (rules+generator+generate): %10.2f ms\n", res.ColdSingleShotMS)
 	fmt.Printf("  warm, result cache hit:                      %10.4f ms  (%.0fx speedup)\n", res.WarmCachedMS, res.Speedup)
-	fmt.Printf("  warm, cache miss (registry only):            %10.2f ms\n", res.WarmUncachedMS)
+	fmt.Printf("  warm, cache miss (full pipeline):            %10.2f ms\n", res.WarmUncachedMS)
+	fmt.Printf("  warm, cache miss via plan (byte splice):     %10.4f ms  (%.0fx faster than pipeline; %d plan hits, %d misses)\n",
+		res.WarmUncachedPlanMS, res.PlanSpeedup, res.PlanHits, res.PlanMisses)
 	fmt.Printf("  throughput: %d clients x %d reqs over %d use cases: %.0f req/s (cache hit rate %.1f%%)\n",
 		clients, perClient, len(cases), res.ThroughputRPS, 100*res.CacheHitRate)
 	fmt.Printf("  batch: %d rounds x %d use cases per request: %.0f items/s\n",
@@ -675,6 +714,14 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	if gate && subsequentGenMS >= 0.10*firstGenMS {
 		log.Fatalf("cold-start gate: subsequent Generator construction %.2fms >= 10%% of first %.2fms — shared type-check universe is not being reused",
 			subsequentGenMS, firstGenMS)
+	}
+	// Plan-path gate (E12 acceptance): a warm-uncached request served from
+	// a compiled plan must land within 5x of a result-cache hit. If it
+	// drifts past that, the byte-splice fast path has stopped engaging
+	// (requests are falling through to the full pipeline again).
+	if gate && planMS > 5*warmMS {
+		log.Fatalf("plan gate: warm-uncached-via-plan %.4fms > 5x warm-cached %.4fms — the plan fast path is not serving warm misses",
+			planMS, warmMS)
 	}
 }
 

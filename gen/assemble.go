@@ -288,11 +288,22 @@ func (g *Generator) resolvePath(tmpl *Template, m *TemplateMethod, inv *Invocati
 
 	// Phase B: derive remaining basic-typed variables from constraints, in
 	// event/parameter order, feeding each derived value back into env.
+	// pushedSeen dedupes the push-up list: a parameter that occurs on
+	// several events of the path (or a wildcard diagnostic repeated per
+	// occurrence) is one unresolved hole, not many — pushing it once per
+	// event made emit declare one placeholder per occurrence, rebind the
+	// rule variable to the last, and leave the earlier declarations unused
+	// (an outright compile error under Options.Verify).
+	pushedSeen := map[string]bool{}
 	for _, label := range path {
 		ev, _ := rule.Event(label)
 		for _, prm := range ev.Params {
 			if prm.Wildcard {
-				res.pushed = append(res.pushed, fmt.Sprintf("%s wildcard parameter of %s", rule.SpecType(), ev.Method))
+				diag := fmt.Sprintf("%s wildcard parameter of %s", rule.SpecType(), ev.Method)
+				if !pushedSeen[diag] {
+					pushedSeen[diag] = true
+					res.pushed = append(res.pushed, diag)
+				}
 				continue
 			}
 			if prm.Name == "this" {
@@ -312,7 +323,10 @@ func (g *Generator) resolvePath(tmpl *Template, m *TemplateMethod, inv *Invocati
 					continue
 				}
 			}
-			res.pushed = append(res.pushed, prm.Name)
+			if !pushedSeen[prm.Name] {
+				pushedSeen[prm.Name] = true
+				res.pushed = append(res.pushed, prm.Name)
+			}
 		}
 	}
 	res.plan = g.planEvents(rule, path, specName)

@@ -35,6 +35,12 @@ func (g *Generator) emit(tmpl *Template, m *TemplateMethod, inv *Invocation, idx
 			report.PushedUp = append(report.PushedUp, rule.SpecType()+": "+p)
 			continue
 		}
+		if _, done := res.objects[p]; done {
+			// Defensive: resolvePath dedupes pushed entries, but a second
+			// placeholder for an already-materialized variable would shadow
+			// the first and leave it unused — never emit one.
+			continue
+		}
 		name := st.names.alloc(p)
 		st.lines = append(st.lines, fmt.Sprintf(
 			"var %s %s // TODO(cryptgen): unresolved parameter %q of rule %s — supply a value",

@@ -60,6 +60,14 @@ type Options struct {
 	// exactly that so paths are enumerated once per process, not once per
 	// generation.
 	Paths *PathCache
+	// Plans, when non-nil, memoizes whole generations as compiled Plans
+	// (see PlanCache): the first generation of a (template source, rule
+	// set, options) tuple runs the full pipeline and compiles a byte
+	// skeleton; every later one — regardless of template name or package
+	// override, which are splice points — executes in a handful of byte
+	// copies. Like Paths, one PlanCache is meant to be shared by many
+	// Generators; it is internally synchronized.
+	Plans *PlanCache
 
 	// Ablation switches (all default off = full algorithm). They exist for
 	// the E7 ablation benchmarks documented in DESIGN.md.
@@ -217,16 +225,52 @@ func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (res 
 		return nil, fmt.Errorf("gen: %s: %w", name, ferr)
 	}
 	start := time.Now()
-	if err := cancelled(ctx, name, "template type-check"); err != nil {
+
+	// Plan fast path: one earlier generation of this (template source,
+	// rule set, options) tuple makes this one a byte splice. Requests the
+	// splicer cannot serve exactly (see planExecutable) take the legacy
+	// pipeline below, whose result then seeds the cache.
+	plannable := g.opts.Plans != nil && planExecutable(name, g.opts.PackageName)
+	var key planKey
+	var rulesFP string
+	if plannable {
+		rulesFP = g.opts.Plans.FingerprintFor(g.rules)
+		key = newPlanKey(rulesFP, src, g.opts)
+		if p, ok := g.opts.Plans.lookup(key); ok {
+			return p.Execute(name, g.opts.PackageName), nil
+		}
+	}
+
+	res, tmplPkg, err := g.generate(ctx, name, src, start)
+	if err != nil {
 		return nil, err
+	}
+	if plannable {
+		outPkg := g.opts.PackageName
+		if outPkg == "" {
+			outPkg = tmplPkg
+		}
+		if p, cerr := compilePlan(res, name, outPkg, tmplPkg, rulesFP); cerr == nil {
+			g.opts.Plans.put(key, p)
+		}
+	}
+	return res, nil
+}
+
+// generate is the legacy (plan-free) pipeline: workflow steps ① through ⑤
+// plus optional output verification. It additionally returns the
+// template's own package name so the caller can compile a Plan.
+func (g *Generator) generate(ctx context.Context, name, src string, start time.Time) (*Result, string, error) {
+	if err := cancelled(ctx, name, "template type-check"); err != nil {
+		return nil, "", err
 	}
 	file, pkg, info, err := g.checker.CheckSource(name, src)
 	if err != nil {
-		return nil, fmt.Errorf("gen: template %s does not type-check: %w", name, err)
+		return nil, "", fmt.Errorf("gen: template %s does not type-check: %w", name, err)
 	}
 	tmpl, err := scanTemplate(name, src, file, g.checker.Fset, pkg, info)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	report := &Report{Template: name}
 
@@ -238,11 +282,11 @@ func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (res 
 		methodNames := newNames(m) // shared across the method's chains
 		for _, chain := range m.Chains {
 			if err := cancelled(ctx, name, "chain generation"); err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			code, err := g.generateChain(tmpl, m, chain, methodNames, mr, report)
 			if err != nil {
-				return nil, fmt.Errorf("gen: %s.%s: %w", tmpl.StructName, m.Decl.Name.Name, err)
+				return nil, "", fmt.Errorf("gen: %s.%s: %w", tmpl.StructName, m.Decl.Name.Name, err)
 			}
 			startOff := g.checker.Fset.Position(chain.Stmt.Pos()).Offset
 			endOff := g.checker.Fset.Position(chain.Stmt.End()).Offset
@@ -252,26 +296,26 @@ func (g *Generator) GenerateFileCtx(ctx context.Context, name, src string) (res 
 	}
 
 	if err := cancelled(ctx, name, "usage synthesis"); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	usage, err := g.synthesizeUsage(tmpl)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	out, err := g.spliceOutput(tmpl, replacements, texts, usage)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if g.opts.Verify {
 		if err := cancelled(ctx, name, "output verification"); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if _, _, _, err := g.checker.CheckSource("generated_"+name, out); err != nil {
-			return nil, fmt.Errorf("gen: generated code failed verification (this is a generator bug): %w", err)
+			return nil, "", fmt.Errorf("gen: generated code failed verification (this is a generator bug): %w", err)
 		}
 	}
 	report.Duration = time.Since(start)
-	return &Result{Output: out, Report: report}, nil
+	return &Result{Output: out, Report: report}, tmpl.File.Name.Name, nil
 }
 
 // cancelled maps an expired context to a diagnosable error naming the

@@ -88,7 +88,7 @@ func (g *Generator) spliceOutput(tmpl *Template, repl map[int][2]int, texts []st
 	}
 
 	out = buildTagRE.ReplaceAllString(out, "")
-	header := "// Code generated by CogniCryptGEN from " + tmpl.Name + ". DO NOT EDIT.\n//\n" +
+	header := planHeaderPrefix + tmpl.Name + ". DO NOT EDIT.\n//\n" +
 		"// The implementation below was derived from GoCrySL rules; edit the\n" +
 		"// template and the rules, then regenerate, instead of patching this file.\n\n"
 	out = header + out

@@ -75,6 +75,44 @@ func (c *PathCache) Paths(rule *crysl.Rule, maxPaths int) [][]string {
 	return paths
 }
 
+// Retain drops every memoized enumeration that does not belong to a rule
+// of one of the given rule sets, and every DFA-fingerprint memo for rule
+// pointers outside them. Fingerprint keying already keeps a shared cache
+// correct across rule-set reloads — stale entries simply stop matching —
+// but it never frees them; a registry that reloads repeatedly calls
+// Retain with the current (and any mid-build) rule sets after each swap
+// so the cache stays bounded by the live sets. Returns the number of
+// path enumerations dropped.
+func (c *PathCache) Retain(sets ...*crysl.RuleSet) int {
+	keepFP := map[string]bool{}
+	keepRule := map[*crysl.Rule]bool{}
+	for _, set := range sets {
+		if set == nil {
+			continue
+		}
+		for _, rule := range set.Rules() {
+			// c.fingerprint memoizes; compute before taking the write lock.
+			keepFP[c.fingerprint(rule)] = true
+			keepRule[rule] = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key := range c.m {
+		if !keepFP[key.dfa] {
+			delete(c.m, key)
+			dropped++
+		}
+	}
+	for rule := range c.fps {
+		if !keepRule[rule] && !keepFP[c.fps[rule]] {
+			delete(c.fps, rule)
+		}
+	}
+	return dropped
+}
+
 // Len returns the number of memoized (rule, bound) entries.
 func (c *PathCache) Len() int {
 	c.mu.RLock()

@@ -132,16 +132,22 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	}
 	defer sdk.Close()
 
-	// One real template body; distinct Names make distinct cache keys with
-	// identical generation cost (same trick as benchtables' warm-uncached
-	// row).
+	// One real template per working-set key, made a distinct *body* by a
+	// per-key comment: distinct Names alone stopped being a thrash
+	// workload when the daemons learned to byte-splice one compiled plan
+	// across any number of names — a result-cache miss must still cost a
+	// full generation here, or the cluster's aggregate cache capacity has
+	// nothing to save.
 	uc := templates.UseCases[2]
 	src, err := templates.Source(uc)
 	if err != nil {
 		return Result{}, err
 	}
 	reqFor := func(k int) wire.GenerateRequest {
-		return wire.GenerateRequest{Name: fmt.Sprintf("ws%04d.go", k), Source: src}
+		return wire.GenerateRequest{
+			Name:   fmt.Sprintf("ws%04d.go", k),
+			Source: src + fmt.Sprintf("\n// working-set key %04d\n", k),
+		}
 	}
 
 	var (
@@ -175,35 +181,20 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	if opts.Rate > 0 {
 		res.Mode = "open"
 		interval := time.Duration(float64(time.Second) / opts.Rate)
-		var wg sync.WaitGroup
-		seq := rand.New(rand.NewSource(opts.Seed))
-		deadline := start.Add(opts.Duration)
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-	arrivals:
-		for time.Now().Before(deadline) {
-			select {
-			case <-ctx.Done():
-				break arrivals
-			case <-tick.C:
-				k := seq.Intn(opts.WorkingSet)
-				wg.Add(1)
-				go func(k int) {
-					defer wg.Done()
-					req := reqFor(k)
-					t0 := time.Now()
-					if _, err := sdk.Generate(ctx, req); err != nil {
-						errCount.Add(1)
-						return
-					}
-					completed.Add(1)
-					latMu.Lock()
-					latencies = append(latencies, time.Since(t0))
-					latMu.Unlock()
-				}(k)
-			}
+		n := int(opts.Duration / interval)
+		if n < 1 {
+			n = 1
 		}
-		wg.Wait()
+		seq := rand.New(rand.NewSource(opts.Seed))
+		lats, errs := openLoop(ctx, start, interval, n,
+			func(int) int { return seq.Intn(opts.WorkingSet) },
+			func(ctx context.Context, k int) error {
+				_, err := sdk.Generate(ctx, reqFor(k))
+				return err
+			})
+		latencies = lats
+		completed.Store(int64(len(lats)))
+		errCount.Store(errs)
 	} else {
 		res.Mode = "closed"
 		var wg sync.WaitGroup
@@ -245,6 +236,72 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		})
 	}
 	return res, ctx.Err()
+}
+
+// openLoop issues n arrivals at a fixed interval and measures each
+// completion against its *scheduled* send time, start + i*interval — not
+// the moment the request actually left. The distinction is coordinated
+// omission (Tene, "How NOT to Measure Latency"): an open-loop workload
+// models arrivals that do not care whether the server is keeping up, so
+// when the system stalls, the requests that should have been sent during
+// the stall must still be charged their queueing delay. The previous
+// ticker-based loop did the opposite twice over — a ticker coalesces
+// missed ticks, silently *dropping* the arrivals scheduled during a
+// stall, and the latency clock started at the goroutine's send, so p99
+// reported only service time and hid exactly the delays an open-loop run
+// exists to expose.
+//
+// key picks the workload key for arrival i (called in schedule order from
+// one goroutine); send issues the request. The returned latencies are the
+// successful completions (unsorted); errs counts failed sends.
+func openLoop(ctx context.Context, start time.Time, interval time.Duration, n int,
+	key func(i int) int, send func(ctx context.Context, k int) error) ([]time.Duration, int64) {
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		errs atomic.Int64
+		wg   sync.WaitGroup
+	)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+arrivals:
+	for i := 0; i < n; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		// Wait out a future schedule slot; past-due arrivals (the engine
+		// fell behind, or start itself is behind) are issued immediately
+		// and their lateness is, deliberately, part of their latency.
+		if d := time.Until(sched); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break arrivals
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break arrivals
+		}
+		k := key(i)
+		wg.Add(1)
+		go func(k int, sched time.Time) {
+			defer wg.Done()
+			if err := send(ctx, k); err != nil {
+				errs.Add(1)
+				return
+			}
+			d := time.Since(sched)
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}(k, sched)
+	}
+	wg.Wait()
+	return lats, errs.Load()
 }
 
 // AggregateForwardHitRate sums forward counters across nodes.

@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopChargesStalledTransport: when the transport stalls, the
+// arrivals scheduled during the stall must still be issued and must be
+// charged their full queueing delay. The pre-fix ticker loop failed both
+// ways — coalesced ticks dropped arrivals outright, and the latency clock
+// started at the actual send, so a 150ms stall reported near-zero
+// latencies (coordinated omission).
+func TestOpenLoopChargesStalledTransport(t *testing.T) {
+	const (
+		n        = 20
+		interval = time.Millisecond
+		stall    = 150 * time.Millisecond
+	)
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(stall)
+		close(release)
+	}()
+	var sent atomic.Int64
+	start := time.Now()
+	lats, errs := openLoop(context.Background(), start, interval, n,
+		func(i int) int { return i },
+		func(ctx context.Context, k int) error {
+			sent.Add(1)
+			<-release // every request blocks until the stall clears
+			return nil
+		})
+	if errs != 0 {
+		t.Fatalf("errs = %d, want 0", errs)
+	}
+	if len(lats) != n {
+		t.Fatalf("completions = %d, want %d: arrivals were dropped", len(lats), n)
+	}
+	if got := sent.Load(); got != n {
+		t.Fatalf("sends = %d, want %d", got, n)
+	}
+	// The first-scheduled arrival waited out the whole stall; its latency
+	// must include it, not just post-release service time.
+	var max time.Duration
+	for _, d := range lats {
+		if d > max {
+			max = d
+		}
+	}
+	if max < stall-20*time.Millisecond {
+		t.Errorf("max latency = %v, want >= ~%v: queueing delay was omitted from the measurement", max, stall)
+	}
+}
+
+// TestOpenLoopMeasuresFromScheduledSendTime: an engine that falls behind
+// its own schedule (here: start lies in the past) must charge each
+// arrival the gap between its scheduled slot and its completion. The
+// pre-fix loop timed from the actual send and would report microseconds.
+func TestOpenLoopMeasuresFromScheduledSendTime(t *testing.T) {
+	const behind = 200 * time.Millisecond
+	start := time.Now().Add(-behind)
+	lats, errs := openLoop(context.Background(), start, time.Millisecond, 5,
+		func(i int) int { return i },
+		func(ctx context.Context, k int) error { return nil })
+	if errs != 0 || len(lats) != 5 {
+		t.Fatalf("lats=%d errs=%d, want 5/0", len(lats), errs)
+	}
+	for i, d := range lats {
+		if d < behind-50*time.Millisecond {
+			t.Errorf("lat[%d] = %v, want >= ~%v: latency not measured from the scheduled send time", i, d, behind)
+		}
+	}
+}
+
+// TestOpenLoopHonorsCancellation: a cancelled context stops scheduling
+// new arrivals promptly instead of running out the full count.
+func TestOpenLoopHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lats, _ := openLoop(ctx, time.Now(), time.Hour, 1000,
+		func(i int) int { return i },
+		func(ctx context.Context, k int) error { return nil })
+	if len(lats) > 1 {
+		t.Fatalf("completions = %d after immediate cancel, want <= 1", len(lats))
+	}
+}

@@ -48,12 +48,26 @@ go run ./cmd/loadgen -smoke
 echo "==> wire/client race pass"
 go test -race -count=1 ./wire ./client
 
+# Plan fast-path identity: the precompiled-plan byte splicer must emit
+# output byte-identical to the legacy pipeline for all 13 templates — on
+# compile, on replay, under renamed requests and package overrides — and
+# stay correct when one plan cache is shared across goroutines. The
+# reload-storm regression (bounded shared caches across 50 reloads with
+# per-reload fingerprints) rides in the same pass.
+echo "==> plan byte-identity + reload-storm regression (-race)"
+go test -race -count=1 \
+    -run 'TestPlanByteIdentity|TestPlanPackageOverrideIdentity|TestPlanFallbacks|TestPlanConcurrentExecution' ./gen
+go test -race -count=1 \
+    -run 'TestReloadStormKeepsCachesBounded|TestConcurrentReloadAndGenerate' ./service
+
 # Smoke the daemon benchmark end to end (batch + coalescing tables
-# included) without the full measurement repetitions. This doubles as the
-# cold-start regression gate: benchtables exits non-zero if subsequent
-# Generator construction costs >= 10% of the first — i.e. if the shared
-# type-check universe (internal/srccheck) ever stops being reused.
-echo "==> benchtables service smoke (incl. cold-start gate)"
+# included) without the full measurement repetitions. This doubles as two
+# regression gates: benchtables exits non-zero if subsequent Generator
+# construction costs >= 10% of the first (the shared type-check universe
+# stopped being reused), or if a warm-uncached request served from a
+# compiled plan costs more than 5x a result-cache hit (the plan fast path
+# stopped engaging).
+echo "==> benchtables service smoke (incl. cold-start + plan gates)"
 go run ./cmd/benchtables -table service -smoke
 
 echo "==> verify OK"

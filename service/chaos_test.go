@@ -63,8 +63,12 @@ func TestChaosWorkerPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Distinct source bodies per request: the fault under test lives on
+	// the worker path, and a request whose body matches a resident plan
+	// would be served by the byte-splice fast path without ever reaching
+	// the pool.
 	faultinject.Arm(faultinject.PointWorkerExec, faultinject.Fault{Mode: faultinject.ModePanic, Times: 1})
-	resp, body := postJSON(t, ts.URL+"/v1/generate", GenerateRequest{Name: "chaos_panic_1.go", Source: src})
+	resp, body := postJSON(t, ts.URL+"/v1/generate", GenerateRequest{Name: "chaos_panic_1.go", Source: src + "\n// chaos: panic 1\n"})
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("request during injected panic: status %d, want 500: %s", resp.StatusCode, body)
 	}
@@ -74,7 +78,7 @@ func TestChaosWorkerPanic(t *testing.T) {
 
 	// The fault self-disarmed after one firing; the same daemon — and
 	// possibly the same worker goroutine — must serve the next request.
-	resp, body = postJSON(t, ts.URL+"/v1/generate", GenerateRequest{Name: "chaos_panic_2.go", Source: src})
+	resp, body = postJSON(t, ts.URL+"/v1/generate", GenerateRequest{Name: "chaos_panic_2.go", Source: src + "\n// chaos: panic 2\n"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("request after recovered panic: status %d: %s", resp.StatusCode, body)
 	}
@@ -206,8 +210,11 @@ func TestChaosLatencyShedding(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Distinct bodies, not just distinct names: a body matching a
+			// resident plan would be spliced inline and never saturate the
+			// pool this test is wedging.
 			resp, _ := postJSONNoFatal(ts.URL+"/v1/generate",
-				GenerateRequest{Name: fmt.Sprintf("chaos_storm_%d.go", i), Source: src})
+				GenerateRequest{Name: fmt.Sprintf("chaos_storm_%d.go", i), Source: src + fmt.Sprintf("\n// chaos: storm %d\n", i)})
 			if resp != nil {
 				statuses[i] = resp.StatusCode
 				retryAfter[i] = resp.Header.Get("Retry-After")

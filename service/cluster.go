@@ -182,7 +182,17 @@ func (c *cluster) probeLoop() {
 }
 
 func (c *cluster) probe(peer string) (healthy bool, errMsg string) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.probeEvery)
+	// The probe interval paces how often peers are asked, not how long a
+	// peer may take to answer — a sub-second interval (tests run at 50ms)
+	// must not turn scheduler jitter on a loaded box into an ejection.
+	// Ejecting a slow-but-alive peer silently trades its shared cache
+	// entries for duplicate local generations, so the health verdict gets
+	// its own floor.
+	to := c.probeEvery
+	if to < time.Second {
+		to = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), to)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/readyz", nil)
 	if err != nil {

@@ -366,7 +366,7 @@ func (w *Worker) refresh() error {
 	if w.snap == snap && w.base != nil {
 		return nil
 	}
-	base, err := gen.New(snap.Rules, w.pool.dir, gen.Options{Paths: snap.Paths})
+	base, err := gen.New(snap.Rules, w.pool.dir, gen.Options{Paths: snap.Paths, Plans: snap.Plans})
 	if err != nil {
 		return err
 	}
@@ -381,10 +381,11 @@ func (w *Worker) refresh() error {
 func (w *Worker) Snapshot() *Snapshot { return w.snap }
 
 // Generator returns a Generator over the worker's snapshot running under
-// opts (the shared path cache is always wired in). The returned Generator
-// is valid for the duration of the current task only.
+// opts (the shared path and plan caches are always wired in). The
+// returned Generator is valid for the duration of the current task only.
 func (w *Worker) Generator(opts gen.Options) *gen.Generator {
 	opts.Paths = w.snap.Paths
+	opts.Plans = w.snap.Plans
 	return w.base.WithOptions(opts)
 }
 

@@ -22,8 +22,15 @@ type Snapshot struct {
 	// Fingerprint is Rules.Fingerprint(), computed once at load.
 	Fingerprint string
 	// Paths memoizes per-rule accepting-path enumeration, shared by every
-	// Generator built over this snapshot.
+	// Generator built over this snapshot. The registry keeps ONE cache
+	// across reloads (DFA-fingerprint keying keeps it correct — see the
+	// eviction contract on Registry), so unchanged rules keep their warmed
+	// paths across /v1/reload.
 	Paths *gen.PathCache
+	// Plans memoizes whole generations as compiled byte-splice plans,
+	// likewise one registry-owned cache shared across reloads and keyed by
+	// rule-set fingerprint.
+	Plans *gen.PlanCache
 	// Version increments on every (re)load, letting workers detect that
 	// their cached Generator was built over a stale snapshot.
 	Version uint64
@@ -49,12 +56,30 @@ type RegistryHealth struct {
 // semantic checks, NFA construction, determinization, minimization — for
 // all fourteen rules) is paid once per process instead of once per
 // request, and again only on explicit Reload.
+//
+// Eviction contract: the path and plan caches are registry-owned and
+// shared across every snapshot the registry ever produces. Fingerprint
+// keying makes stale entries harmless (a reloaded rule simply stops
+// matching them) but not free — without eviction a reload storm grows
+// both caches without bound. After every Reload (successful or not) the
+// registry drops each entry whose fingerprint belongs to neither the
+// current snapshot nor a candidate that is still mid-build, so the
+// resident set is always bounded by the live rule sets.
 type Registry struct {
 	loader func() (*crysl.RuleSet, error)
+
+	paths *gen.PathCache
+	plans *gen.PlanCache
 
 	mu       sync.RWMutex
 	snap     *Snapshot
 	degraded RegistryHealth
+
+	// buildMu guards building: candidate rule sets that are compiled but
+	// not yet swapped in (or abandoned). Their cache entries must survive
+	// a concurrent reload's eviction pass.
+	buildMu  sync.Mutex
+	building map[*crysl.RuleSet]bool
 }
 
 // NewRegistry compiles the initial snapshot using loader (nil = the
@@ -63,7 +88,12 @@ func NewRegistry(loader func() (*crysl.RuleSet, error)) (*Registry, error) {
 	if loader == nil {
 		loader = rules.LoadFresh
 	}
-	r := &Registry{loader: loader}
+	r := &Registry{
+		loader:   loader,
+		paths:    gen.NewPathCache(),
+		plans:    gen.NewPlanCache(0),
+		building: map[*crysl.RuleSet]bool{},
+	}
 	if _, err := r.Reload(); err != nil {
 		return nil, err
 	}
@@ -77,6 +107,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.RUnlock()
 	return r.snap
 }
+
+// Plans returns the registry-owned plan cache (for metrics and warming).
+func (r *Registry) Plans() *gen.PlanCache { return r.plans }
+
+// Paths returns the registry-owned path cache.
+func (r *Registry) Paths() *gen.PathCache { return r.paths }
 
 // Health reports the registry's degradation state.
 func (r *Registry) Health() RegistryHealth {
@@ -101,8 +137,12 @@ func (r *Registry) Health() RegistryHealth {
 // goroutines inside crysl.LoadFS, and path warm-up enumerates every rule's
 // accepting paths concurrently (PathCache is concurrency-safe), so
 // /v1/reload latency tracks the slowest single rule rather than the sum.
+//
+// Reload ends with the generation-scoped eviction pass described on
+// Registry, so rule sets that are no longer loaded stop occupying the
+// shared path and plan caches.
 func (r *Registry) Reload() (*Snapshot, error) {
-	set, paths, fp, err := r.buildCandidate()
+	set, fp, err := r.buildCandidate()
 	if err != nil {
 		r.mu.Lock()
 		r.degraded = RegistryHealth{
@@ -112,10 +152,11 @@ func (r *Registry) Reload() (*Snapshot, error) {
 			FailedAt:          time.Now(),
 		}
 		r.mu.Unlock()
+		// Drop whatever the failed candidate warmed into the shared caches.
+		r.evictStale()
 		return nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	var version uint64 = 1
 	if r.snap != nil {
 		version = r.snap.Version + 1
@@ -123,33 +164,47 @@ func (r *Registry) Reload() (*Snapshot, error) {
 	r.snap = &Snapshot{
 		Rules:       set,
 		Fingerprint: fp,
-		Paths:       paths,
+		Paths:       r.paths,
+		Plans:       r.plans,
 		Version:     version,
 	}
 	r.degraded = RegistryHealth{}
-	return r.snap, nil
+	snap := r.snap
+	r.mu.Unlock()
+	r.finishBuild(set)
+	r.evictStale()
+	return snap, nil
 }
 
-// buildCandidate compiles and fully warms a candidate snapshot without
-// touching the registry. fp is returned even on failure when the candidate
-// got far enough to have one, so the degraded state can name the rule set
-// that failed.
-func (r *Registry) buildCandidate() (set *crysl.RuleSet, paths *gen.PathCache, fp string, err error) {
+// buildCandidate compiles and fully warms a candidate rule set against the
+// shared caches without touching the registry's snapshot. fp is returned
+// even on failure when the candidate got far enough to have one, so the
+// degraded state can name the rule set that failed. On success the set is
+// left registered as mid-build; the caller must finishBuild it after the
+// swap (or after abandoning it).
+func (r *Registry) buildCandidate() (set *crysl.RuleSet, fp string, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			set, paths = nil, nil
+			if set != nil {
+				r.finishBuild(set)
+			}
+			set = nil
 			err = fmt.Errorf("service: panic rebuilding rule set: %v", rec)
 		}
 	}()
 	set, err = r.loader()
 	if err != nil {
-		return nil, nil, "", fmt.Errorf("service: compiling rule set: %w", err)
+		return nil, "", fmt.Errorf("service: compiling rule set: %w", err)
 	}
-	fp = set.Fingerprint()
+	// Register before warming: a concurrent reload's eviction pass must
+	// not drop this candidate's freshly warmed entries.
+	r.buildMu.Lock()
+	r.building[set] = true
+	r.buildMu.Unlock()
+	fp = r.plans.FingerprintFor(set)
 	// Warm with gen's own default bound: a generator running with default
 	// options looks paths up under exactly this key, so the warmed entries
 	// cannot silently stop matching if the default ever changes.
-	paths = gen.NewPathCache()
 	warmErrs := make([]error, len(set.Rules()))
 	var wg sync.WaitGroup
 	for i, rule := range set.Rules() {
@@ -167,15 +222,47 @@ func (r *Registry) buildCandidate() (set *crysl.RuleSet, paths *gen.PathCache, f
 				warmErrs[i] = fmt.Errorf("warming %s: %w", rule.SpecType(), ferr)
 				return
 			}
-			paths.Paths(rule, gen.DefaultMaxPaths)
+			r.paths.Paths(rule, gen.DefaultMaxPaths)
 		}(i, rule)
 	}
 	wg.Wait()
 	if werr := errors.Join(warmErrs...); werr != nil {
-		return nil, nil, fp, fmt.Errorf("service: warming candidate rule set %s: %w", fp, werr)
+		r.finishBuild(set)
+		return nil, fp, fmt.Errorf("service: warming candidate rule set %s: %w", fp, werr)
 	}
 	if ferr := faultinject.Fire(faultinject.PointReloadSwap); ferr != nil {
-		return nil, nil, fp, fmt.Errorf("service: swapping in rule set %s: %w", fp, ferr)
+		r.finishBuild(set)
+		return nil, fp, fmt.Errorf("service: swapping in rule set %s: %w", fp, ferr)
 	}
-	return set, paths, fp, nil
+	return set, fp, nil
+}
+
+// finishBuild deregisters a candidate once it has been swapped in or
+// abandoned.
+func (r *Registry) finishBuild(set *crysl.RuleSet) {
+	r.buildMu.Lock()
+	delete(r.building, set)
+	r.buildMu.Unlock()
+}
+
+// evictStale drops shared-cache entries whose fingerprint is neither the
+// current snapshot's nor a mid-build candidate's.
+func (r *Registry) evictStale() {
+	r.buildMu.Lock()
+	sets := make([]*crysl.RuleSet, 0, len(r.building)+1)
+	for s := range r.building {
+		sets = append(sets, s)
+	}
+	r.buildMu.Unlock()
+	r.mu.RLock()
+	if r.snap != nil {
+		sets = append(sets, r.snap.Rules)
+	}
+	r.mu.RUnlock()
+	keepFP := make(map[string]bool, len(sets))
+	for _, s := range sets {
+		keepFP[r.plans.FingerprintFor(s)] = true
+	}
+	r.paths.Retain(sets...)
+	r.plans.Retain(keepFP)
 }

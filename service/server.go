@@ -160,6 +160,11 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Peers) > 0 {
 		s.cluster = newCluster(cfg.Self, cfg.Peers, cfg.PeerProbeInterval)
 	}
+	// Warm the embedded templates' plans in the background. The gen.New
+	// inside rides the universe warm-up started above rather than racing
+	// the first request for it, and every warmed template's first real
+	// request lands on the byte-splice fast path.
+	go s.warmPlans(registry.Snapshot())
 	return s, nil
 }
 
@@ -259,18 +264,51 @@ func (s *Server) failStatus(err error) int {
 }
 
 // ReloadRules recompiles the rule set and transactionally swaps it in
-// (POST /v1/reload).
+// (POST /v1/reload). The new snapshot's plans for the embedded templates
+// are warmed before the response returns, so the first post-reload
+// request for each lands on the fast path.
 func (s *Server) ReloadRules() (wire.ReloadResponse, error) {
 	snap, err := s.registry.Reload()
 	if err != nil {
 		return wire.ReloadResponse{}, err
 	}
 	s.metrics.reloads.Add(1)
+	s.warmPlans(snap)
 	return wire.ReloadResponse{
 		Fingerprint: snap.Fingerprint,
 		Version:     snap.Version,
 		Rules:       snap.Rules.Len(),
 	}, nil
+}
+
+// warmPlans runs the embedded use-case templates through a plan-wired
+// Generator so their compiled plans are resident before traffic asks for
+// them. Warm failures are advisory: the daemon still serves (the legacy
+// pipeline remains the transparent fallback), so they are logged — once
+// per pass, not once per template — never propagated.
+func (s *Server) warmPlans(snap *Snapshot) {
+	g, err := gen.New(snap.Rules, s.cfg.Dir, gen.Options{Paths: snap.Paths, Plans: snap.Plans})
+	if err != nil {
+		log.Printf("service: plan warm: %v", err)
+		return
+	}
+	var firstErr error
+	failed := 0
+	for _, uc := range append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...) {
+		src, err := templates.Source(uc)
+		if err == nil {
+			_, err = g.GenerateFile(uc.File, src)
+		}
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		log.Printf("service: plan warm: %d template(s) failed, first: %v", failed, firstErr)
+	}
 }
 
 // RulesInfo lists the compiled rules (GET /v1/rules).
@@ -343,6 +381,12 @@ func (s *Server) ReadyInfo() wire.ReadyResponse {
 // (benchmark harnesses consume this without going through HTTP).
 func (s *Server) MetricsSnapshot() wire.Metrics {
 	m := s.metrics.snapshot(s.pool.QueueDepth(), s.pool.Waiters(), s.cache.len())
+	if plans := s.registry.Plans(); plans != nil {
+		m.PlanHits = plans.Hits()
+		m.PlanMisses = plans.Misses()
+		m.PlanEntries = plans.Len()
+		m.PlanBytes = plans.Bytes()
+	}
 	if s.cluster != nil {
 		m.Self = s.cluster.self
 		m.Peers = s.cluster.peerStatuses()
@@ -509,6 +553,23 @@ func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src
 	// node's, so the cluster-wide sum of cache_misses equals the number of
 	// distinct generations actually run.
 	s.metrics.cacheMisses.Add(1)
+	// Plan fast path: when a compiled plan for this (template body, rule
+	// set, options) is resident, the miss is served by byte splicing right
+	// here on the request goroutine — no pool round-trip, and no queueing
+	// behind full-pipeline generations. A miss here is not counted (the
+	// worker below owns the authoritative plan miss + compile).
+	if snap := s.registry.Snapshot(); snap.Plans != nil && ctx.Err() == nil {
+		if res, ok := snap.Plans.Execute(snap.Fingerprint, name, src, gen.Options{PackageName: req.Package, Verify: req.Verify}); ok {
+			resp = wire.GenerateResponse{
+				Name:        name,
+				Output:      res.Output,
+				Report:      toWireReport(res.Report),
+				Fingerprint: snap.Fingerprint,
+			}
+			s.cache.put(wire.CacheKey(snap.Fingerprint, name, src, req.Package, req.Verify), resp)
+			return resp, nil
+		}
+	}
 	v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
 		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
 		res, err := g.GenerateFileCtx(ctx, name, src)

@@ -24,6 +24,20 @@ type Metrics struct {
 	LatencyP50MS     float64 `json:"latency_p50_ms"`
 	LatencyP99MS     float64 `json:"latency_p99_ms"`
 
+	// Plan-cache counters: the precompiled-generation fast path (see
+	// gen.PlanCache). A plan hit is a result-cache miss served by byte
+	// splicing instead of the full pipeline.
+
+	// PlanHits counts generations served from a compiled plan.
+	PlanHits int64 `json:"plan_hits"`
+	// PlanMisses counts plan-eligible generations that ran the legacy
+	// pipeline (and compiled a plan for next time).
+	PlanMisses int64 `json:"plan_misses"`
+	// PlanEntries is the resident compiled-plan count.
+	PlanEntries int `json:"plan_entries"`
+	// PlanBytes approximates the resident bytes of all compiled plans.
+	PlanBytes int64 `json:"plan_bytes"`
+
 	// Cluster counters (zero when the node runs without peers).
 
 	// ForwardedTotal counts requests this node forwarded to the peer
