@@ -7,16 +7,21 @@
 //     wire.RendezvousRank the daemons use for peer forwarding), so a
 //     routed client hits every node's cache and singleflight directly and
 //     the daemons almost never need their one forwarding hop;
-//   - a health-aware member list: nodes failing /readyz (or a request)
-//     are ejected from routing and re-admitted when a background probe
-//     sees them recover, with requests failing over along the rendezvous
-//     rank so a dead owner's keys land on the same runner-up from every
-//     client;
-//   - retries: 429s are retried on the same node after honoring the
-//     server's jittered Retry-After hint (the envelope's retry_after_ms,
-//     falling back to the header); transient transport failures and 503s
-//     fail over to the next ranked node under capped exponential backoff;
-//     non-retryable errors (400s…) are returned immediately, exactly once;
+//   - per-node circuit breakers: a node fails out of routing only after a
+//     failure streak (one blip is not evidence), stops receiving attempts
+//     while its breaker is open, and is re-admitted by a half-open trial
+//     or by the background /readyz probe seeing it recover — with
+//     requests failing over along the rendezvous rank so a dead owner's
+//     keys land on the same runner-up from every client;
+//   - retries under a global retry budget: 429s are retried on the same
+//     node after honoring the server's jittered Retry-After hint (the
+//     envelope's retry_after_ms, falling back to the header); transient
+//     transport failures and 503s fail over to the next ranked node under
+//     capped, jittered exponential backoff; non-retryable errors (400s…)
+//     are returned immediately, exactly once. The budget — a token bucket
+//     drained by retries and refilled by successes — caps the whole
+//     client's retry amplification, so a fleet of clients cannot mount a
+//     synchronized retry storm against a recovering cluster;
 //   - batch splitting: one wire.BatchRequest is split by key owner into
 //     per-node sub-batches (capped at wire.MaxBatchItems) sent
 //     concurrently and reassembled in the caller's item order.
@@ -29,14 +34,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cognicryptgen/internal/breaker"
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/wire"
 )
+
+// maxRespBytes caps how much of any response body the client will read:
+// the daemon itself never sends bodies near this (it caps *requests* at 4
+// MiB), so anything larger is a misbehaving proxy, and buffering it would
+// balloon client memory.
+const maxRespBytes = 8 << 20
 
 // Config tunes a Client. Only Nodes is required.
 type Config struct {
@@ -44,7 +58,8 @@ type Config struct {
 	// standalone daemon).
 	Nodes []string
 	// HTTPClient overrides the transport (nil = a dedicated pooled
-	// client). Its Timeout is left alone; per-request deadlines come from
+	// client carrying the faultinject client-transport point). Its
+	// Timeout is left alone; per-request deadlines come from
 	// RequestTimeout and the caller's context.
 	HTTPClient *http.Client
 	// RequestTimeout caps each attempt (0 = 30s). The caller's context
@@ -54,8 +69,10 @@ type Config struct {
 	// negative = no retries).
 	MaxRetries int
 	// BackoffBase is the first transient-failure backoff (0 = 100ms); it
-	// doubles per retry up to BackoffMax (0 = 2s). 429 waits use the
-	// server's Retry-After hint instead, which the server already jitters.
+	// doubles per retry up to BackoffMax (0 = 2s), and each sleep is
+	// equal-jittered (uniform in [d/2, d]) so a fleet of clients spreads
+	// out instead of retrying in lockstep. 429 waits use the server's
+	// Retry-After hint instead, which the server already jitters.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// DisableRouting round-robins requests across nodes instead of
@@ -67,6 +84,21 @@ type Config struct {
 	// negative = no background probing; health then tracks only request
 	// outcomes).
 	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive-failure streak that opens a
+	// node's circuit breaker, taking it out of routing (0 = 3).
+	BreakerThreshold int
+	// BreakerOpenTimeout is the cooling-off period before an open node
+	// admits a half-open trial attempt (0 = 2s). The background probe
+	// re-admits a recovered node independently of this.
+	BreakerOpenTimeout time.Duration
+	// RetryBudget is the client-wide retry token bucket's capacity (0 =
+	// 10, negative = unlimited retries). Every retry withdraws one token;
+	// every success deposits RetryBudgetRatio. When the bucket is empty a
+	// would-be retry fails fast with the last error instead.
+	RetryBudget float64
+	// RetryBudgetRatio is the per-success refill (0 = 0.2: at steady
+	// state retries add at most ~20% load on top of successes).
+	RetryBudgetRatio float64
 }
 
 // Client is a cryptgend cluster client. Safe for concurrent use; create
@@ -76,6 +108,14 @@ type Client struct {
 	httpc *http.Client
 	nodes []string
 
+	// brs holds one circuit breaker per configured node (the map is
+	// read-only after New; the breakers synchronize themselves).
+	brs map[string]*breaker.Breaker
+	// budget is the client-wide retry budget (nil = unlimited).
+	budget *breaker.Budget
+	// retries counts retry attempts actually sent.
+	retries atomic.Int64
+
 	// fingerprint is the last rule-set fingerprint observed (responses,
 	// readyz probes). Routing keys include it so client and daemons agree
 	// on shard layout; until first observed (""), routing is still
@@ -84,9 +124,6 @@ type Client struct {
 
 	// rr distributes DisableRouting requests round-robin.
 	rr atomic.Uint64
-
-	mu     sync.Mutex
-	health map[string]bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -113,20 +150,31 @@ func New(cfg Config) (*Client, error) {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 2 * time.Second
 	}
+	if cfg.BreakerOpenTimeout <= 0 {
+		cfg.BreakerOpenTimeout = 2 * time.Second
+	}
 	c := &Client{
-		cfg:    cfg,
-		httpc:  cfg.HTTPClient,
-		nodes:  append([]string(nil), cfg.Nodes...),
-		health: make(map[string]bool, len(cfg.Nodes)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:   cfg,
+		httpc: cfg.HTTPClient,
+		nodes: append([]string(nil), cfg.Nodes...),
+		brs:   make(map[string]*breaker.Breaker, len(cfg.Nodes)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	if c.httpc == nil {
-		c.httpc = &http.Client{}
+		c.httpc = &http.Client{
+			Transport: faultinject.Transport(faultinject.PointClientTransport, nil),
+		}
 	}
 	c.fingerprint.Store("")
 	for _, n := range c.nodes {
-		c.health[n] = true
+		c.brs[n] = breaker.New(breaker.Config{
+			FailureThreshold: cfg.BreakerThreshold,
+			OpenTimeout:      cfg.BreakerOpenTimeout,
+		})
+	}
+	if cfg.RetryBudget >= 0 {
+		c.budget = breaker.NewBudget(cfg.RetryBudget, cfg.RetryBudgetRatio)
 	}
 	if cfg.ProbeInterval >= 0 {
 		interval := cfg.ProbeInterval
@@ -146,15 +194,33 @@ func (c *Client) Close() {
 	<-c.done
 }
 
-// Healthy reports the current member-list health by node URL.
+// Healthy reports the current member-list health by node URL (healthy =
+// breaker closed; half-open and open nodes report false).
 func (c *Client) Healthy() map[string]bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]bool, len(c.health))
-	for n, h := range c.health {
-		out[n] = h
+	out := make(map[string]bool, len(c.brs))
+	for n, br := range c.brs {
+		out[n] = br.State() == breaker.Closed
 	}
 	return out
+}
+
+// Stats returns the client's own resilience counters: retries sent,
+// breaker rejections, retry-budget refusals, and per-node breaker states.
+func (c *Client) Stats() wire.ClientStats {
+	s := wire.ClientStats{
+		Retries:       c.retries.Load(),
+		BreakerStates: make(map[string]string, len(c.nodes)),
+	}
+	for _, n := range c.nodes {
+		br := c.brs[n]
+		s.BreakerRejects += br.Rejects()
+		s.BreakerStates[n] = br.State().String()
+	}
+	if c.budget != nil {
+		s.RetryBudgetExhausted = c.budget.Exhausted()
+		s.RetryBudgetTokens = c.budget.Tokens()
+	}
+	return s
 }
 
 // Fingerprint returns the last rule-set fingerprint the client observed
@@ -167,21 +233,13 @@ func (c *Client) noteFingerprint(fp string) {
 	}
 }
 
-func (c *Client) markHealth(node string, healthy bool) {
-	c.mu.Lock()
-	c.health[node] = healthy
-	c.mu.Unlock()
-}
-
-// members returns the healthy nodes in config order; when everything is
-// marked unhealthy it returns all nodes, so the client degrades to trying
-// rather than refusing.
+// members returns the nodes whose breaker is not open, in config order;
+// when every breaker is open it returns all nodes, so the client degrades
+// to trying rather than refusing.
 func (c *Client) members() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.nodes))
 	for _, n := range c.nodes {
-		if c.health[n] {
+		if c.brs[n].State() != breaker.Open {
 			out = append(out, n)
 		}
 	}
@@ -191,11 +249,21 @@ func (c *Client) members() []string {
 	return out
 }
 
-// probeLoop polls every node's /readyz: 200 (ok or degraded) re-admits,
-// 503 (draining) or an unreachable listener ejects. The probe also piggybacks
-// the cluster's rule-set fingerprint for the routing key.
+// probeLoop polls every node's /readyz, all nodes concurrently — one hung
+// node must not delay the others' health verdicts by its full timeout.
+// 200 (ok or degraded) feeds the node's breaker a success (re-admitting
+// it), 503 (draining) or an unreachable listener a failure. The probe
+// also piggybacks the cluster's rule-set fingerprint for the routing key.
 func (c *Client) probeLoop(interval time.Duration) {
 	defer close(c.done)
+	// The interval paces how often nodes are asked, not how long a node
+	// may take to answer: a sub-second interval must not turn scheduler
+	// jitter on a loaded node into a failed probe (the same floor the
+	// daemon's peer prober applies).
+	timeout := interval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -204,33 +272,48 @@ func (c *Client) probeLoop(interval time.Duration) {
 			return
 		case <-t.C:
 		}
+		var wg sync.WaitGroup
 		for _, n := range c.nodes {
-			func() {
-				ctx, cancel := context.WithTimeout(context.Background(), interval)
-				defer cancel()
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, n+"/readyz", nil)
-				if err != nil {
-					c.markHealth(n, false)
-					return
-				}
-				resp, err := c.httpc.Do(req)
-				if err != nil {
-					c.markHealth(n, false)
-					return
-				}
-				defer resp.Body.Close()
-				var ready wire.ReadyResponse
-				if json.NewDecoder(resp.Body).Decode(&ready) == nil {
-					c.noteFingerprint(ready.Fingerprint)
-				}
-				c.markHealth(n, resp.StatusCode == http.StatusOK)
-			}()
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				c.probe(n, timeout)
+			}(n)
 		}
+		// Finish the round before the next tick (and before exiting), so
+		// probe goroutines never pile up behind a slow node.
+		wg.Wait()
+	}
+}
+
+func (c *Client) probe(node string, timeout time.Duration) {
+	br := c.brs[node]
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/readyz", nil)
+	if err != nil {
+		br.Failure()
+		return
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		br.Failure()
+		return
+	}
+	defer resp.Body.Close()
+	var ready wire.ReadyResponse
+	if json.NewDecoder(io.LimitReader(resp.Body, maxRespBytes)).Decode(&ready) == nil {
+		c.noteFingerprint(ready.Fingerprint)
+	}
+	if resp.StatusCode == http.StatusOK {
+		br.Success()
+	} else {
+		br.Failure()
 	}
 }
 
 // routeNodes returns the failover-ordered node list for one generate
-// request: the rendezvous rank of its key over the healthy members, or a
+// request: the rendezvous rank of its key over the admitted members, or a
 // rotating round-robin order with routing disabled.
 func (c *Client) routeNodes(req wire.GenerateRequest) []string {
 	members := c.members()
@@ -258,9 +341,14 @@ func (c *Client) post(ctx context.Context, node, path string, body []byte, out a
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes+1))
 	if err != nil {
 		return nil, 0, err
+	}
+	if len(data) > maxRespBytes {
+		// Treated as a transport failure: the body is not trustworthy, and
+		// the node (or whatever is in front of it) is misbehaving.
+		return nil, 0, fmt.Errorf("%s%s: response body exceeds %d bytes", node, path, maxRespBytes)
 	}
 	if resp.StatusCode < 300 {
 		return nil, 0, json.Unmarshal(data, out)
@@ -292,6 +380,17 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
+// jitter spreads a backoff delay uniformly over [d/2, d] (equal jitter):
+// enough randomness that a fleet of clients desynchronizes, while keeping
+// at least half the intended wait.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
@@ -306,15 +405,38 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// pickNode returns the first node from idx onward (wrapping) whose
+// breaker admits an attempt, advancing *idx to it. When every node's
+// breaker rejects, it returns the node at *idx anyway — refusing to send
+// at all would turn a full outage into a client-side outcome with no
+// evidence, and the attempt doubles as each open breaker's eventual
+// half-open trial.
+func (c *Client) pickNode(nodes []string, idx *int) string {
+	for scanned := 0; scanned < len(nodes); scanned++ {
+		cand := nodes[(*idx+scanned)%len(nodes)]
+		br, ok := c.brs[cand]
+		if !ok || br.Allow() {
+			*idx += scanned
+			return cand
+		}
+	}
+	return nodes[*idx%len(nodes)]
+}
+
 // doRetry drives the retry loop over a failover-ordered node list:
 //
-//   - success: done (node re-marked healthy);
-//   - transport failure: eject the node, advance to the next ranked node
-//     after a capped exponential backoff;
+//   - success: done (the node's breaker closes, the retry budget refills);
+//   - transport failure: feed the breaker, advance to the next ranked node
+//     whose breaker admits, after a capped jittered exponential backoff;
 //   - 429: the owner is shedding; wait out its Retry-After hint and retry
 //     the same node (another node would just forward back to the owner);
-//   - 503: the node is draining or timed out; eject, advance, back off;
+//   - 503: the node is draining or timed out; feed the breaker, advance,
+//     back off;
 //   - anything else: terminal — returned immediately, never retried.
+//
+// Every retry (everything after the first attempt) withdraws one token
+// from the client-wide retry budget first; an empty budget fails the call
+// with the last error instead of sending the retry.
 func (c *Client) doRetry(ctx context.Context, nodes []string, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -323,32 +445,48 @@ func (c *Client) doRetry(ctx context.Context, nodes []string, path string, in, o
 	idx := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		node := nodes[idx%len(nodes)]
+		if attempt > 0 {
+			if c.budget != nil && !c.budget.Withdraw() {
+				return fmt.Errorf("client: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
+			c.retries.Add(1)
+		}
+		node := c.pickNode(nodes, &idx)
+		br := c.brs[node]
 		wireErr, retryAfter, err := c.post(ctx, node, path, body, out)
 		switch {
 		case err != nil:
-			c.markHealth(node, false)
+			br.Failure()
 			lastErr = fmt.Errorf("%s%s: %w", node, path, err)
 			idx++
-			if serr := sleepCtx(ctx, c.backoff(attempt)); serr != nil {
+			if serr := sleepCtx(ctx, jitter(c.backoff(attempt))); serr != nil {
 				return serr
 			}
 		case wireErr == nil:
-			c.markHealth(node, true)
+			br.Success()
+			if c.budget != nil {
+				c.budget.Deposit()
+			}
 			return nil
 		case wireErr.Status == http.StatusTooManyRequests:
+			// Shedding proves the node alive — close its breaker (a half-open
+			// trial answered 429 is a recovered node), but no budget deposit:
+			// only completed work refills retries.
+			br.Success()
 			lastErr = wireErr
 			if serr := sleepCtx(ctx, retryAfter); serr != nil {
 				return serr
 			}
 		case wireErr.Retryable:
-			c.markHealth(node, false)
+			br.Failure()
 			lastErr = wireErr
 			idx++
-			if serr := sleepCtx(ctx, c.backoff(attempt)); serr != nil {
+			if serr := sleepCtx(ctx, jitter(c.backoff(attempt))); serr != nil {
 				return serr
 			}
 		default:
+			// A terminal verdict (400…) is still a live, answering node.
+			br.Success()
 			return wireErr
 		}
 	}
@@ -487,7 +625,7 @@ func (c *Client) Metrics(ctx context.Context, node string) (wire.Metrics, error)
 	}
 	defer resp.Body.Close()
 	var m wire.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRespBytes)).Decode(&m); err != nil {
 		return wire.Metrics{}, err
 	}
 	return m, nil

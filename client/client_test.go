@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/wire"
 )
 
@@ -165,9 +168,10 @@ func TestNonRetryableNeverRetried(t *testing.T) {
 	}
 }
 
-// TestTransientFailover: a connection-refused node is skipped after one
-// backoff, the request succeeds on the next ranked node, and the dead node
-// is ejected from the member list.
+// TestTransientFailover: requests starting at a connection-refused node
+// fail over to the next ranked node (every request succeeds), the failure
+// streak opens the dead node's breaker, and from then on no attempt
+// touches it at all.
 func TestTransientFailover(t *testing.T) {
 	// A listener that is closed immediately: its port refuses connections.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -180,10 +184,14 @@ func TestTransientFailover(t *testing.T) {
 	live := newFakeNode(t)
 	c := mustClient(t, Config{
 		Nodes:          []string{deadURL, live.ts.URL},
-		DisableRouting: true, // first request starts at the first (dead) node
+		DisableRouting: true, // round-robin: half the requests start at the dead node
 		BackoffBase:    time.Millisecond,
 		BackoffMax:     4 * time.Millisecond,
 	})
+	// One refused connection must NOT eject the node (a blip is not a
+	// streak) — but every request succeeds via failover meanwhile, and
+	// round-robin keeps starting at the dead node until its streak of 3
+	// opens the breaker.
 	resp, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
 	if err != nil {
 		t.Fatal(err)
@@ -191,12 +199,25 @@ func TestTransientFailover(t *testing.T) {
 	if resp.Output != "out:"+live.ts.URL {
 		t.Errorf("served by %q, want the live node", resp.Output)
 	}
-	if h := c.Healthy(); h[deadURL] {
-		t.Error("dead node still marked healthy after connection refused")
+	if h := c.Healthy(); !h[deadURL] {
+		t.Error("one refused connection opened the breaker; a single blip must not eject")
 	}
-	// Subsequent requests must not touch the dead node at all: it is out
-	// of the member list, so there is no first-attempt timeout to pay.
+	for i := 0; i < 7; i++ {
+		if _, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := c.Healthy(); h[deadURL] {
+		t.Error("dead node still admitted after a full failure streak")
+	}
+	if st := c.Stats(); st.BreakerStates[deadURL] != "open" {
+		t.Errorf("dead node breaker state = %q, want open", st.BreakerStates[deadURL])
+	}
+	// Subsequent requests must not touch the dead node at all: its open
+	// breaker takes it out of routing, so there is no first-attempt
+	// connect to pay. The live node serves every one directly.
 	before := live.generateCount()
+	retriesBefore := c.Stats().Retries
 	for i := 0; i < 5; i++ {
 		if _, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "b.go", Source: "package p"}); err != nil {
 			t.Fatal(err)
@@ -204,6 +225,9 @@ func TestTransientFailover(t *testing.T) {
 	}
 	if got := live.generateCount() - before; got != 5 {
 		t.Errorf("live node saw %d of 5 post-ejection requests", got)
+	}
+	if got := c.Stats().Retries - retriesBefore; got != 0 {
+		t.Errorf("%d retries spent after ejection, want 0 (open breaker = no doomed first attempts)", got)
 	}
 }
 
@@ -236,9 +260,10 @@ func TestBackoffCappedAndExhausted(t *testing.T) {
 	if got := node.generateCount(); got != 5 {
 		t.Errorf("server saw %d requests, want 5 (1 + MaxRetries)", got)
 	}
-	// Sleeps: 10 + 20 + 20 + 20 + 20 = 90ms capped; uncapped doubling
-	// would be 10+20+40+80+160 = 310ms.
-	if elapsed < 80*time.Millisecond {
+	// Sleeps: 10 + 20 + 20 + 20 + 20 = 90ms capped, equal-jittered to
+	// [45ms, 90ms]; uncapped doubling would be 10+20+40+80+160 = 310ms
+	// (jitter floor 155ms).
+	if elapsed < 40*time.Millisecond {
 		t.Errorf("elapsed %v: backoff did not happen", elapsed)
 	}
 	if elapsed > 250*time.Millisecond {
@@ -488,5 +513,195 @@ func TestBatchRetryReassembly(t *testing.T) {
 	}
 	if n := flakyBatches.Load(); n < 2 {
 		t.Errorf("flaky node saw %d batch requests, want >= 2 (the shed sub-batch must be retried)", n)
+	}
+}
+
+// TestProbeTimeoutFloor: the probe interval paces how often nodes are
+// asked, not how long they may take to answer — a 30ms interval against a
+// node whose /readyz takes 300ms must not eject it (the probe timeout has
+// a 1s floor, mirroring the daemon's peer prober). With the interval used
+// as the timeout, every probe would fail and a streak would open the
+// breaker within a few rounds.
+func TestProbeTimeoutFloor(t *testing.T) {
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		json.NewEncoder(w).Encode(wire.ReadyResponse{Status: wire.ReadyOK, Fingerprint: "fp-slow"})
+	}))
+	defer node.Close()
+	c := mustClient(t, Config{Nodes: []string{node.URL}, ProbeInterval: 30 * time.Millisecond})
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if !c.Healthy()[node.URL] {
+			t.Fatal("slow-but-alive node ejected: the probe timeout tracked the sub-second interval")
+		}
+		if c.Fingerprint() == "fp-slow" {
+			return // a probe completed despite taking 10x the interval
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no probe ever completed against the slow node")
+}
+
+// TestResponseBodyCapped: a 200 whose body exceeds the client's read cap
+// is treated as a transport failure instead of being buffered whole — a
+// misbehaving proxy must not balloon client memory.
+func TestResponseBodyCapped(t *testing.T) {
+	node := newFakeNode(t)
+	node.script = func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool {
+		w.Write(make([]byte, maxRespBytes+1024))
+		return true
+	}
+	c := mustClient(t, Config{Nodes: []string{node.ts.URL}, MaxRetries: -1})
+	_, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want the body-cap transport failure", err)
+	}
+}
+
+// TestRetryHintPrecedence exercises post's Retry-After resolution
+// directly: the envelope's millisecond hint wins over the coarser header,
+// the header is the fallback when the envelope carries no hint, and a
+// non-envelope 429 (a proxy in the way) still honors the header.
+func TestRetryHintPrecedence(t *testing.T) {
+	var mode atomic.Int64 // 0 = both, 1 = header only, 2 = non-envelope body
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		switch mode.Load() {
+		case 0:
+			e := wire.NewError(http.StatusTooManyRequests, "queue full")
+			e.RetryAfterMS = 80
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(e.Status)
+			json.NewEncoder(w).Encode(e)
+		case 1:
+			e := wire.NewError(http.StatusTooManyRequests, "queue full")
+			e.RetryAfterMS = 0
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(e.Status)
+			json.NewEncoder(w).Encode(e)
+		default:
+			w.Header().Set("Content-Type", "text/plain")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, "too many requests")
+		}
+	}))
+	defer node.Close()
+	c := mustClient(t, Config{Nodes: []string{node.URL}})
+
+	check := func(m int64, want time.Duration, wantCode string, what string) {
+		t.Helper()
+		mode.Store(m)
+		var out wire.GenerateResponse
+		wireErr, retryAfter, err := c.post(context.Background(), node.URL, "/v1/generate", []byte("{}"), &out)
+		if err != nil || wireErr == nil {
+			t.Fatalf("%s: post err=%v wireErr=%v, want a 429 envelope", what, err, wireErr)
+		}
+		if wireErr.Code != wantCode {
+			t.Errorf("%s: code = %q, want %q", what, wireErr.Code, wantCode)
+		}
+		if retryAfter != want {
+			t.Errorf("%s: retryAfter = %v, want %v", what, retryAfter, want)
+		}
+	}
+	check(0, 80*time.Millisecond, wire.CodeOverloaded, "envelope hint beats header")
+	check(1, 2*time.Second, wire.CodeOverloaded, "header-only fallback")
+	check(2, 2*time.Second, wire.CodeOverloaded, "non-envelope body, header honored")
+}
+
+// TestRetryBudgetExhaustion: a client-wide budget of 2 allows exactly two
+// retries; the third would-be retry fails fast with the last error, and
+// the refusal is counted in Stats.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	node := newFakeNode(t)
+	node.script = func(w http.ResponseWriter, n int, req wire.GenerateRequest) bool {
+		writeEnvelope(w, wire.NewError(http.StatusServiceUnavailable, "draining"))
+		return true
+	}
+	c := mustClient(t, Config{
+		Nodes:       []string{node.ts.URL},
+		MaxRetries:  10,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		RetryBudget: 2,
+	})
+	_, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want a retry-budget exhaustion", err)
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want it to wrap the last 503 envelope", err)
+	}
+	if got := node.generateCount(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (first attempt + 2 budgeted retries)", got)
+	}
+	st := c.Stats()
+	if st.RetryBudgetExhausted != 1 {
+		t.Errorf("retry_budget_exhausted = %d, want 1", st.RetryBudgetExhausted)
+	}
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestClientTransportFaultRetry: network faults injected at the SDK's
+// transport point — corrupt JSON, a mid-body cut, a refused connection —
+// are retried like any organic transport failure, and the request
+// succeeds once the fault's firing count is spent. Faults are
+// process-global, so this test must not run in parallel.
+func TestClientTransportFaultRetry(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		// reached counts how many requests actually hit the node: refuse
+		// never dials, while cut/corrupt perform the round trip.
+		reached int
+	}{
+		{"client-transport=corrupt:1", 2},
+		{"client-transport=cut:1", 2},
+		{"client-transport=refuse:1", 1},
+	} {
+		t.Run(tc.spec, func(t *testing.T) {
+			defer faultinject.Reset()
+			node := newFakeNode(t)
+			c := mustClient(t, Config{
+				Nodes:       []string{node.ts.URL},
+				BackoffBase: time.Millisecond,
+				BackoffMax:  2 * time.Millisecond,
+			})
+			if err := faultinject.ArmSpec(tc.spec); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+			if err != nil {
+				t.Fatalf("request did not survive the injected fault: %v", err)
+			}
+			if resp.Output != "out:"+node.ts.URL {
+				t.Errorf("output = %q", resp.Output)
+			}
+			if got := node.generateCount(); got != tc.reached {
+				t.Errorf("node saw %d requests, want %d", got, tc.reached)
+			}
+			if got := c.Stats().Retries; got != 1 {
+				t.Errorf("retries = %d, want exactly 1", got)
+			}
+		})
+	}
+}
+
+// TestClientTransportFault5xx: an injected non-envelope 500 is terminal
+// under the retry policy (only 429/503 retry) and never reaches the node.
+func TestClientTransportFault5xx(t *testing.T) {
+	defer faultinject.Reset()
+	node := newFakeNode(t)
+	c := mustClient(t, Config{Nodes: []string{node.ts.URL}, BackoffBase: time.Millisecond})
+	faultinject.Arm(faultinject.PointClientTransport, faultinject.Fault{Mode: faultinject.Mode5xx, Times: 1})
+	_, err := c.Generate(context.Background(), wire.GenerateRequest{Name: "a.go", Source: "package p"})
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want a synthesized 500 envelope", err)
+	}
+	if got := node.generateCount(); got != 0 {
+		t.Errorf("node saw %d requests, want 0 (the 5xx was synthesized at the transport)", got)
 	}
 }

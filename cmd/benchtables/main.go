@@ -295,6 +295,19 @@ type serviceBenchResult struct {
 	ClusterSpeedup4     float64              `json:"cluster_speedup_4x_vs_1"`
 	ForwardHitRate      float64              `json:"forward_hit_rate"`
 	ClusterNodeHitRates map[string][]float64 `json:"cluster_node_cache_hit_rates"`
+
+	// Chaos rows (E13, internal/loadgen.RunChaos): a node-kill failover
+	// drill — one node of three killed and restarted under continuous SDK
+	// load. FailoverP99MS is the latency tail while the node was down;
+	// NodeKillRecoveryMS the time from restart until every survivor
+	// re-admitted it (gated at 2x the probe interval by -smoke).
+	ChaosRequests        int     `json:"chaos_requests"`
+	ChaosProbeIntervalMS float64 `json:"chaos_probe_interval_ms"`
+	SteadyP99MS          float64 `json:"steady_p99_ms"`
+	FailoverP99MS        float64 `json:"failover_p99_ms"`
+	NodeKillRecoveryMS   float64 `json:"node_kill_recovery_ms"`
+	BreakerRejects       int64   `json:"breaker_rejects"`
+	ChaosClientRetries   int64   `json:"chaos_client_retries"`
 }
 
 // serviceBench measures the cryptgend daemon (S19/E9): the process
@@ -621,6 +634,21 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	}
 	clusterSpeedup4 := clusterRPS["4"] / clusterRPS["1"]
 
+	// Chaos stage (E13): kill one node of three under load, restart it,
+	// and measure what the outage cost. The drill's own contract (zero
+	// lost requests, byte-identical output) is enforced here regardless of
+	// gating; the recovery-time gate is -smoke only.
+	cres, err := loadgen.RunChaos(ctx, loadgen.ChaosOptions{})
+	if err != nil {
+		log.Fatalf("chaos stage: %v", err)
+	}
+	if cres.Errors > 0 {
+		log.Fatalf("chaos stage: %d of %d requests failed across the node kill — failover lost accepted requests", cres.Errors, cres.Requests)
+	}
+	if cres.Divergence > 0 {
+		log.Fatalf("chaos stage: %d responses diverged from their key's first answer", cres.Divergence)
+	}
+
 	m := srv.MetricsSnapshot()
 	hitRate := m.CacheHitRate
 	res := serviceBenchResult{
@@ -659,6 +687,13 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		ClusterSpeedup4:       clusterSpeedup4,
 		ForwardHitRate:        forwardHitRate,
 		ClusterNodeHitRates:   clusterHitRates,
+		ChaosRequests:         cres.Requests,
+		ChaosProbeIntervalMS:  cres.ProbeIntervalMS,
+		SteadyP99MS:           cres.SteadyP99MS,
+		FailoverP99MS:         cres.FailoverP99MS,
+		NodeKillRecoveryMS:    cres.NodeKillRecoveryMS,
+		BreakerRejects:        cres.BreakerRejects,
+		ChaosClientRetries:    cres.ClientRetries,
 	}
 
 	fmt.Println("Service (cryptgend daemon): cold one-shot vs warm long-lived process")
@@ -692,6 +727,9 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		}
 		fmt.Println()
 	}
+	fmt.Printf("  chaos (kill 1 of 3 under load, probe %.0fms): %d reqs 0 lost; p99 steady %.2fms -> failover %.2fms; recovery %.1fms; %d retries, %d breaker rejects\n",
+		res.ChaosProbeIntervalMS, res.ChaosRequests, res.SteadyP99MS, res.FailoverP99MS,
+		res.NodeKillRecoveryMS, res.ChaosClientRetries, res.BreakerRejects)
 	if res.ClusterSpeedup4 < 2 && !smoke {
 		fmt.Printf("  WARNING: 4-node cluster speedup %.2fx < 2x target\n", res.ClusterSpeedup4)
 	}
@@ -722,6 +760,14 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	if gate && planMS > 5*warmMS {
 		log.Fatalf("plan gate: warm-uncached-via-plan %.4fms > 5x warm-cached %.4fms — the plan fast path is not serving warm misses",
 			planMS, warmMS)
+	}
+	// Failover gate (E13 acceptance): after a killed node restarts, the
+	// survivors' probers must re-admit it within two probe rounds. Slower
+	// than that means re-admission is waiting on something other than the
+	// first successful probe (a decaying penalty, a stale breaker window).
+	if gate && res.NodeKillRecoveryMS > 2*res.ChaosProbeIntervalMS {
+		log.Fatalf("failover gate: node-kill recovery %.1fms > 2x probe interval %.0fms — probe success is not re-admitting the restarted node",
+			res.NodeKillRecoveryMS, res.ChaosProbeIntervalMS)
 	}
 }
 

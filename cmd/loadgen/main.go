@@ -10,6 +10,13 @@
 //	go run ./cmd/loadgen -nodes 4 -clients 8 -requests 2000
 //	go run ./cmd/loadgen -nodes 4 -rate 500 -duration 5s
 //	go run ./cmd/loadgen -smoke
+//	go run ./cmd/loadgen -chaos
+//
+// -chaos runs the node-kill failover drill instead of a load run: a
+// 3-node cluster under continuous SDK load has one node killed mid-run
+// and restarted; the drill fails unless every request succeeded with
+// byte-identical output, and it reports the failover latency tail,
+// recovery time, and breaker/retry spend.
 //
 // -smoke ignores the workload flags and runs the cluster correctness
 // smoke instead: boots a standalone node and a 3-node cluster, routes all
@@ -51,6 +58,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload key sequence seed")
 		jsonOut    = flag.String("json", "", "write the run result as JSON to this file")
 		smoke      = flag.Bool("smoke", false, "run the cluster correctness smoke instead of a load run")
+		chaos      = flag.Bool("chaos", false, "run the node-kill failover drill instead of a load run")
 	)
 	flag.Parse()
 
@@ -58,6 +66,12 @@ func main() {
 	if *smoke {
 		if err := runSmoke(ctx); err != nil {
 			log.Fatalf("smoke FAILED: %v", err)
+		}
+		return
+	}
+	if *chaos {
+		if err := runChaos(ctx, *jsonOut); err != nil {
+			log.Fatalf("chaos drill FAILED: %v", err)
 		}
 		return
 	}
@@ -107,6 +121,45 @@ func printResult(res loadgen.Result) {
 	if fhr := res.AggregateForwardHitRate(); fhr > 0 {
 		fmt.Printf("  aggregate forward hit rate: %.2f\n", fhr)
 	}
+}
+
+// runChaos runs the node-kill failover drill and enforces its contract:
+// zero failed requests and zero diverging responses across a kill and
+// restart of one node in three.
+func runChaos(ctx context.Context, jsonOut string) error {
+	res, err := loadgen.RunChaos(ctx, loadgen.ChaosOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos drill: %d nodes, %d-key working set, probe every %.0fms\n",
+		res.Nodes, res.WorkingSet, res.ProbeIntervalMS)
+	fmt.Printf("  %d requests across kill+restart: %d errors, %d diverging responses\n",
+		res.Requests, res.Errors, res.Divergence)
+	fmt.Printf("  p99 steady %.2fms -> failover %.2fms; recovery to all-healthy %.1fms\n",
+		res.SteadyP99MS, res.FailoverP99MS, res.NodeKillRecoveryMS)
+	fmt.Printf("  absorbed by: %d client retries (%d budget exhaustions), %d server breaker rejects\n",
+		res.ClientRetries, res.RetryBudgetExhausted, res.BreakerRejects)
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", jsonOut)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed — failover lost accepted requests", res.Errors, res.Requests)
+	}
+	if res.Divergence > 0 {
+		return fmt.Errorf("%d responses diverged from their key's first answer", res.Divergence)
+	}
+	if res.ClientRetries == 0 {
+		return fmt.Errorf("client spent no retries — the kill was not exercised under load")
+	}
+	log.Printf("chaos drill ok")
+	return nil
 }
 
 // allUseCases is Table 1 plus the extensions — the 13 embedded templates.

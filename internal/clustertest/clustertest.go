@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http/httptest"
+	"time"
 
 	"cognicryptgen/service"
 )
@@ -30,6 +31,12 @@ type Node struct {
 	// URL is the node's base URL — the string the other nodes list in
 	// their Peers and the rendezvous member name.
 	URL string
+
+	// cfg is the node's resolved configuration, kept so Restart can build
+	// an identical replacement daemon.
+	cfg service.Config
+	// killed marks a node taken down by Kill and not yet Restarted.
+	killed bool
 }
 
 // Cluster is a set of in-process nodes forming one cryptgend cluster.
@@ -82,9 +89,58 @@ func Start(n int, cfg service.Config) (*Cluster, error) {
 		ts.Listener.Close()
 		ts.Listener = listeners[i]
 		ts.Start()
-		c.Nodes = append(c.Nodes, &Node{Srv: srv, HTTP: ts, URL: urls[i]})
+		c.Nodes = append(c.Nodes, &Node{Srv: srv, HTTP: ts, URL: urls[i], cfg: nodeCfg})
 	}
 	return c, nil
+}
+
+// Kill takes node i down hard: in-flight connections are severed, the
+// listener closes (peers and clients see connection refused), and the
+// daemon shuts down. The chaos suite's "kubectl delete pod". The node's
+// address stays reserved in every other node's Peers list; Restart brings
+// a fresh daemon back on it.
+func (c *Cluster) Kill(i int) {
+	n := c.Nodes[i]
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.HTTP.CloseClientConnections()
+	n.HTTP.Close()
+	n.Srv.Close()
+}
+
+// Restart replaces a killed node with a brand-new daemon (empty caches,
+// fresh breakers) listening on the same address, as a supervisor would.
+// The bind can race the dying listener's socket, so it retries briefly.
+func (c *Cluster) Restart(i int) error {
+	n := c.Nodes[i]
+	if !n.killed {
+		return fmt.Errorf("clustertest: node %d is not killed", i)
+	}
+	addr := n.HTTP.Listener.Addr().String()
+	var l net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("clustertest: rebinding %s: %w", addr, err)
+	}
+	srv, err := service.New(n.cfg)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	n.Srv, n.HTTP, n.killed = srv, ts, false
+	return nil
 }
 
 // URLs returns the nodes' base URLs in node order (the SDK's member list).
@@ -97,13 +153,18 @@ func (c *Cluster) URLs() []string {
 }
 
 // Close stops every node: listeners first (so peers see connection
-// refused, not hangs), then the daemons.
+// refused, not hangs), then the daemons. Killed nodes are already down.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
+		if n.killed {
+			continue
+		}
 		n.HTTP.CloseClientConnections()
 		n.HTTP.Close()
 	}
 	for _, n := range c.Nodes {
-		n.Srv.Close()
+		if !n.killed {
+			n.Srv.Close()
+		}
 	}
 }

@@ -48,16 +48,39 @@ const (
 	// PointGenerate fires at the head of gen.GenerateFileCtx, inside the
 	// library's own panic guard.
 	PointGenerate = "generate"
+	// PointPeerTransport fires on every request the daemon's peer channel
+	// sends (forwards and /readyz probes) through the fault Transport.
+	PointPeerTransport = "peer-transport"
+	// PointClientTransport fires on every request the client SDK's default
+	// HTTP client sends through the fault Transport.
+	PointClientTransport = "client-transport"
 )
 
 // Mode selects what an armed fault point does when fired.
 type Mode int
 
-// Fault modes.
+// Fault modes. The first three apply to in-process fault points (Fire);
+// the transport modes apply to HTTP fault points served by Transport —
+// Fire treats any transport mode as ModeError, so arming one at an
+// in-process point degrades to an injected error instead of being
+// silently ignored.
 const (
 	ModeError Mode = iota
 	ModePanic
 	ModeLatency
+	// ModeRefuse fails the round trip outright without dialing — the
+	// observable shape of a connection refused.
+	ModeRefuse
+	// ModeCutBody performs the round trip but severs the response body
+	// partway through, so readers see a mid-body unexpected EOF.
+	ModeCutBody
+	// ModeCorrupt performs the round trip but mangles the response body's
+	// first byte, so JSON decoding fails on an intact-looking response.
+	ModeCorrupt
+	// Mode5xx answers with a synthesized 5xx (Fault.Status, default 500)
+	// and a non-envelope body, without performing the round trip — the
+	// shape of a broken proxy or a crashed handler in the way.
+	Mode5xx
 )
 
 func (m Mode) String() string {
@@ -68,6 +91,14 @@ func (m Mode) String() string {
 		return "panic"
 	case ModeLatency:
 		return "latency"
+	case ModeRefuse:
+		return "refuse"
+	case ModeCutBody:
+		return "cut"
+	case ModeCorrupt:
+		return "corrupt"
+	case Mode5xx:
+		return "5xx"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -80,6 +111,8 @@ type Fault struct {
 	// Times bounds how often the fault fires before the point disarms
 	// itself; 0 means unlimited.
 	Times int64
+	// Status is the synthesized response status for Mode5xx (0 = 500).
+	Status int
 }
 
 // Error is the typed error an armed point injects (and the panic value in
@@ -117,31 +150,43 @@ func Fire(point string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
+	f, ok := consume(point)
+	if !ok {
+		return nil
+	}
+	switch f.Mode {
+	case ModePanic:
+		panic(&Error{Point: point, Mode: ModePanic})
+	case ModeLatency:
+		time.Sleep(f.Latency)
+		return nil
+	default:
+		// Transport modes armed at an in-process point degrade to errors.
+		return &Error{Point: point, Mode: ModeError}
+	}
+}
+
+// consume looks the point up and, when armed, takes one firing from its
+// bounded count (self-disarming on exhaustion). It returns the fault to
+// inject and whether this call should inject at all.
+func consume(point string) (Fault, bool) {
 	mu.Lock()
 	st, ok := points[point]
 	mu.Unlock()
 	if !ok {
-		return nil
+		return Fault{}, false
 	}
 	if st.fault.Times > 0 {
 		if st.remaining.Add(-1) < 0 {
 			// Exhausted; self-disarm (idempotent under concurrent firings).
 			Disarm(point)
-			return nil
+			return Fault{}, false
 		}
 		if st.remaining.Load() == 0 {
 			defer Disarm(point)
 		}
 	}
-	switch st.fault.Mode {
-	case ModePanic:
-		panic(&Error{Point: point, Mode: ModePanic})
-	case ModeLatency:
-		time.Sleep(st.fault.Latency)
-		return nil
-	default:
-		return &Error{Point: point, Mode: ModeError}
-	}
+	return st.fault, true
 }
 
 // Arm installs (or replaces) the fault for a point.
@@ -181,12 +226,16 @@ func Reset() {
 //
 //	point=mode[:arg][,point=mode[:arg]...]
 //
-// mode is error, panic, or latency. For latency the argument is the
-// sleep duration ("latency:250ms"); for error and panic it is an optional
-// fire count ("panic:1" fires once). Examples:
+// mode is error, panic, latency, or — at transport points — refuse, cut,
+// corrupt, or 5xx. For latency the argument is the sleep duration
+// ("latency:250ms"); for every other mode it is an optional fire count
+// ("panic:1" fires once). A transport point name may carry a host suffix
+// ("peer-transport@10.0.0.2:8572") to fault only requests to that host.
+// Examples:
 //
 //	worker-exec=panic:1
 //	reload-swap=error,rule-compile=latency:50ms
+//	peer-transport=refuse:3,client-transport=corrupt:1
 func ArmSpec(spec string) error {
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -204,6 +253,14 @@ func ArmSpec(spec string) error {
 			f.Mode = ModeError
 		case "panic":
 			f.Mode = ModePanic
+		case "refuse":
+			f.Mode = ModeRefuse
+		case "cut":
+			f.Mode = ModeCutBody
+		case "corrupt":
+			f.Mode = ModeCorrupt
+		case "5xx":
+			f.Mode = Mode5xx
 		case "latency":
 			f.Mode = ModeLatency
 			if !hasArg {
@@ -215,7 +272,7 @@ func ArmSpec(spec string) error {
 			}
 			f.Latency = d
 		default:
-			return fmt.Errorf("faultinject: unknown mode %q in %q (want error, panic, or latency)", modeStr, part)
+			return fmt.Errorf("faultinject: unknown mode %q in %q (want error, panic, latency, refuse, cut, corrupt, or 5xx)", modeStr, part)
 		}
 		if hasArg && f.Mode != ModeLatency {
 			n, err := strconv.ParseInt(arg, 10, 64)

@@ -60,14 +60,29 @@ go test -race -count=1 \
 go test -race -count=1 \
     -run 'TestReloadStormKeepsCachesBounded|TestConcurrentReloadAndGenerate' ./service
 
+# Cluster chaos suite: whole-cluster failure drills — node kill/restart
+# under live client load, peer-channel partitions via injected transport
+# faults, slow peers vs the probe-timeout floor. Zero lost requests,
+# byte-identical output, health convergence, goroutines back to baseline.
+echo "==> cluster chaos suite (kill/restart, partition, slow peer under -race)"
+go test -race -run 'TestClusterChaos' -count=1 ./internal/clustertest
+
+# Node-kill failover drill through the real CLI: 3 nodes, kill 1 mid-run,
+# restart it — the drill exits non-zero if any request failed, any
+# response diverged, or the client spent no retries (outage not exercised).
+echo "==> loadgen chaos drill (kill 1 of 3 under load)"
+go run ./cmd/loadgen -chaos
+
 # Smoke the daemon benchmark end to end (batch + coalescing tables
 # included) without the full measurement repetitions. This doubles as two
 # regression gates: benchtables exits non-zero if subsequent Generator
 # construction costs >= 10% of the first (the shared type-check universe
 # stopped being reused), or if a warm-uncached request served from a
 # compiled plan costs more than 5x a result-cache hit (the plan fast path
-# stopped engaging).
-echo "==> benchtables service smoke (incl. cold-start + plan gates)"
+# stopped engaging), or if node-kill recovery in the E13 chaos stage takes
+# longer than 2x the peer probe interval (probe success stopped
+# re-admitting restarted nodes).
+echo "==> benchtables service smoke (incl. cold-start + plan + failover gates)"
 go run ./cmd/benchtables -table service -smoke
 
 echo "==> verify OK"

@@ -10,19 +10,24 @@ import (
 	"sync"
 	"time"
 
+	"cognicryptgen/internal/breaker"
+	"cognicryptgen/internal/faultinject"
 	"cognicryptgen/wire"
 )
 
-// cluster is a node's view of its peers: the rendezvous member list,
-// per-peer health maintained by forward outcomes and a background /readyz
-// probe, and the HTTP client used for the peer channel.
+// cluster is a node's view of its peers: the rendezvous member list, a
+// per-peer circuit breaker fed by forward outcomes and a background
+// /readyz probe, and the HTTP client used for the peer channel.
 //
 // There is no membership protocol — the member list is static
 // configuration (Self + Peers), identical on every node, and rendezvous
-// hashing over it needs no coordination. Health is purely local: a node
-// that cannot reach a peer stops forwarding to it (generating locally
-// instead, at the cost of a duplicate cache entry) and re-admits it when
-// the probe sees /readyz succeed again. Two nodes may briefly disagree
+// hashing over it needs no coordination. Health is purely local and
+// breaker-shaped: a peer stays in the forwarding set until a *streak* of
+// failures (PeerFailureThreshold, default 3) opens its breaker — one lost
+// packet is not evidence — after which forwards to it are rejected
+// without being tried (generating locally instead, at the cost of a
+// duplicate cache entry) until the open timeout elapses and a half-open
+// trial (a forward or a probe) succeeds. Two nodes may briefly disagree
 // about a third's health; the one-hop guard bounds the damage to a single
 // extra forward.
 type cluster struct {
@@ -40,15 +45,22 @@ type cluster struct {
 }
 
 type peerState struct {
-	healthy   bool
-	failures  int64
+	br        *breaker.Breaker
 	forwarded int64
 	lastErr   string
 }
 
-func newCluster(self string, peers []string, probeEvery time.Duration) *cluster {
+func newCluster(self string, peers []string, probeEvery time.Duration, failureThreshold int) *cluster {
 	if probeEvery <= 0 {
 		probeEvery = 2 * time.Second
+	}
+	// The open window is tied to the probe cadence: the background probe is
+	// what re-admits a recovered peer, so cooling off much longer than a
+	// probe tick only delays recovery, and shorter than 1s turns the
+	// breaker into the one-strike eject it replaced.
+	openTimeout := probeEvery
+	if openTimeout < time.Second {
+		openTimeout = time.Second
 	}
 	c := &cluster{
 		self:       self,
@@ -59,18 +71,24 @@ func newCluster(self string, peers []string, probeEvery time.Duration) *cluster 
 		httpc: &http.Client{
 			// Forwards ride the receiving request's context for cancellation;
 			// this timeout is the backstop for probe requests and leaked
-			// connections.
-			Timeout: 30 * time.Second,
+			// connections. The fault transport makes peer-channel network
+			// failure injectable for the chaos suite; disarmed it is one
+			// atomic load per request.
+			Timeout:   30 * time.Second,
+			Transport: faultinject.Transport(faultinject.PointPeerTransport, nil),
 		},
 	}
 	for _, p := range peers {
 		if p == self || p == "" {
 			continue
 		}
-		// Peers start healthy: ejection is evidence-driven (a failed forward
-		// or probe), so a cluster booting in any order does not refuse to
-		// forward before the first probe tick.
-		c.state[p] = &peerState{healthy: true}
+		// Peers start closed (healthy): ejection is evidence-driven (a
+		// failure streak), so a cluster booting in any order does not refuse
+		// to forward before the first probe tick.
+		c.state[p] = &peerState{br: breaker.New(breaker.Config{
+			FailureThreshold: failureThreshold,
+			OpenTimeout:      openTimeout,
+		})}
 	}
 	c.peers = make([]string, 0, len(c.state))
 	for p := range c.state {
@@ -87,52 +105,86 @@ func (c *cluster) close() {
 	})
 }
 
-// members returns the current rendezvous member list: self plus every peer
-// believed healthy. Self is always a member — a node never forwards a key
-// it owns.
+// members returns the forwarding member list as health sees it: self plus
+// every peer whose breaker is not open (half-open peers count — an
+// elapsed cooling-off is ready for a trial). Self is always a member — a
+// node never forwards a key it owns. Note that key *ownership* does not
+// hash over this list; see ownerPeer.
 func (c *cluster) members() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := make([]string, 0, len(c.peers)+1)
 	m = append(m, c.self)
 	for _, p := range c.peers {
-		if c.state[p].healthy {
+		if c.state[p].br.State() != breaker.Open {
 			m = append(m, p)
 		}
 	}
 	return m
 }
 
-// ownerPeer returns the healthy peer owning key under rendezvous hashing,
-// or "" when this node owns it (or no healthy peer does).
+// ownerPeer returns the peer owning key when its breaker admits a forward
+// now, or "" when this node should generate locally (it owns the key, or
+// the owner's breaker rejected the attempt — open, or a half-open trial
+// already in flight).
+//
+// Ownership hashes over the full static member list, not the healthy
+// subset: re-hashing on every health flap would migrate keys between
+// survivors (cold caches twice per outage — once ejecting, once
+// re-admitting), whereas stable ownership means a recovered peer's cache
+// is exactly as warm as it was. While the owner is open its keys are
+// generated locally (duplicate cache entries on the nodes that receive
+// them — bounded, and they expire with LRU), and each rejected forward is
+// counted by the breaker.
 func (c *cluster) ownerPeer(key string) string {
-	owner := wire.RendezvousOwner(key, c.members())
+	all := make([]string, 0, len(c.peers)+1)
+	all = append(all, c.self)
+	all = append(all, c.peers...)
+	owner := wire.RendezvousOwner(key, all)
 	if owner == c.self {
+		return ""
+	}
+	c.mu.Lock()
+	st, ok := c.state[owner]
+	c.mu.Unlock()
+	if !ok || !st.br.Allow() {
 		return ""
 	}
 	return owner
 }
 
-// markForward records a forward attempt's outcome for peer health: a
-// transport-level failure ejects the peer immediately (the probe loop
-// re-admits it), while success clears any failure streak.
+// markForward records a forward attempt's outcome for the peer's breaker:
+// failures grow the streak toward open, success closes it outright.
 func (c *cluster) markForward(peer string, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st, ok := c.state[peer]
 	if !ok {
+		c.mu.Unlock()
 		return
 	}
 	st.forwarded++
 	if err != nil {
-		st.healthy = false
-		st.failures++
 		st.lastErr = err.Error()
-		return
+	} else {
+		st.lastErr = ""
 	}
-	st.healthy = true
-	st.failures = 0
-	st.lastErr = ""
+	c.mu.Unlock()
+	if err != nil {
+		st.br.Failure()
+	} else {
+		st.br.Success()
+	}
+}
+
+// breakerRejects sums forward attempts rejected by open peer breakers.
+func (c *cluster) breakerRejects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, st := range c.state {
+		n += st.br.Rejects()
+	}
+	return n
 }
 
 func (c *cluster) peerStatuses() map[string]wire.PeerStatus {
@@ -140,19 +192,24 @@ func (c *cluster) peerStatuses() map[string]wire.PeerStatus {
 	defer c.mu.Unlock()
 	out := make(map[string]wire.PeerStatus, len(c.state))
 	for p, st := range c.state {
+		state := st.br.State()
 		out[p] = wire.PeerStatus{
-			Healthy:   st.healthy,
-			Failures:  st.failures,
-			Forwarded: st.forwarded,
-			LastError: st.lastErr,
+			Healthy:        state == breaker.Closed,
+			BreakerState:   state.String(),
+			Failures:       int64(st.br.Failures()),
+			Forwarded:      st.forwarded,
+			BreakerRejects: st.br.Rejects(),
+			LastError:      st.lastErr,
 		}
 	}
 	return out
 }
 
-// probeLoop polls every peer's /readyz on a timer: ok or degraded (HTTP
-// 200) re-admits the peer into the forwarding set, draining (503) or an
-// unreachable listener ejects it.
+// probeLoop polls every peer's /readyz on a timer, all peers concurrently
+// — sequential probing would let one hung peer delay every other peer's
+// health verdict by its full timeout. Ok or degraded (HTTP 200) feeds the
+// breaker a success (closing it, re-admitting the peer); draining (503)
+// or an unreachable listener feeds it a failure.
 func (c *cluster) probeLoop() {
 	defer close(c.done)
 	t := time.NewTicker(c.probeEvery)
@@ -163,21 +220,30 @@ func (c *cluster) probeLoop() {
 			return
 		case <-t.C:
 		}
+		var wg sync.WaitGroup
 		for _, p := range c.peers {
-			healthy, errMsg := c.probe(p)
-			c.mu.Lock()
-			st := c.state[p]
-			if healthy {
-				st.healthy = true
-				st.failures = 0
-				st.lastErr = ""
-			} else {
-				st.healthy = false
-				st.failures++
-				st.lastErr = errMsg
-			}
-			c.mu.Unlock()
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				healthy, errMsg := c.probe(p)
+				c.mu.Lock()
+				st := c.state[p]
+				if healthy {
+					st.lastErr = ""
+				} else {
+					st.lastErr = errMsg
+				}
+				c.mu.Unlock()
+				if healthy {
+					st.br.Success()
+				} else {
+					st.br.Failure()
+				}
+			}(p)
 		}
+		// Wait before the next tick (and before exiting) so probe goroutines
+		// never pile up behind a slow peer or outlive close().
+		wg.Wait()
 	}
 }
 
@@ -224,8 +290,8 @@ func (c *cluster) probe(peer string) (healthy bool, errMsg string) {
 //     worker to reproduce it. The envelope propagates to the client intact.
 //   - handled=false: transport failure or a retryable peer state (429
 //     overloaded, 503 draining). The caller generates locally
-//     (forward_fallbacks) and health tracking decides whether the peer
-//     stays in the member list.
+//     (forward_fallbacks) and the peer's breaker decides whether it stays
+//     in the member list.
 func (s *Server) forward(ctx context.Context, peer, name, src string, req wire.GenerateRequest) (resp wire.GenerateResponse, err error, handled bool) {
 	s.metrics.forwarded.Add(1)
 	// Forward the resolved template, not the UseCase reference: the peer
@@ -284,8 +350,8 @@ func (s *Server) forward(ctx context.Context, peer, name, src string, req wire.G
 	}
 	if we.Retryable {
 		// 429/503: the peer is alive but cannot take the work now. Generate
-		// locally; only a draining peer (503) leaves the member list, and
-		// the probe loop re-admits it when /readyz recovers.
+		// locally; only a draining peer (503) counts against the breaker,
+		// and the probe loop re-admits it when /readyz recovers.
 		if we.Status == http.StatusServiceUnavailable {
 			s.cluster.markForward(peer, &we)
 		} else {

@@ -20,6 +20,10 @@ import (
 // white-box test in package service cannot import a helper that imports
 // service back).
 func startCluster(t *testing.T, n int) ([]*Server, []*httptest.Server, []string) {
+	return startClusterProbe(t, n, 50*time.Millisecond)
+}
+
+func startClusterProbe(t *testing.T, n int, probeEvery time.Duration) ([]*Server, []*httptest.Server, []string) {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	urls := make([]string, n)
@@ -34,7 +38,7 @@ func startCluster(t *testing.T, n int) ([]*Server, []*httptest.Server, []string)
 	srvs := make([]*Server, n)
 	tss := make([]*httptest.Server, n)
 	for i := 0; i < n; i++ {
-		cfg := Config{Workers: 2, CacheSize: 64, PeerProbeInterval: 50 * time.Millisecond, Self: urls[i]}
+		cfg := Config{Workers: 2, CacheSize: 64, PeerProbeInterval: probeEvery, Self: urls[i]}
 		for j, u := range urls {
 			if j != i {
 				cfg.Peers = append(cfg.Peers, u)
@@ -171,10 +175,13 @@ func TestClusterHopGuard(t *testing.T) {
 
 // TestClusterPeerDownFallback: when the owner of a key is unreachable, the
 // receiving node serves the request locally (forward_fallbacks) instead of
-// failing it, and ejects the dead peer so subsequent keys are owned
-// locally without paying a connect timeout each time.
+// failing it, and — once the failure streak opens the peer's breaker —
+// stops forwarding to it so subsequent keys are owned locally without
+// paying a connect timeout each time.
 func TestClusterPeerDownFallback(t *testing.T) {
-	srvs, tss, _ := startCluster(t, 2)
+	// A long probe interval keeps the background prober out of the breaker:
+	// this test wants the failure streak driven by forward outcomes alone.
+	srvs, tss, _ := startClusterProbe(t, 2, 10*time.Minute)
 	// Kill node 1's listener; node 0 has no idea yet.
 	tss[1].CloseClientConnections()
 	tss[1].Close()
@@ -183,11 +190,16 @@ func TestClusterPeerDownFallback(t *testing.T) {
 	snap := srvs[0].Registry().Snapshot()
 	cases := append(append([]templates.UseCase(nil), templates.UseCases...), templates.Extensions...)
 	served := 0
+	var peerKey string
+	// Send every peer-owned key: a single failed forward must NOT eject
+	// (one blip is not evidence), but the accumulated streak across these
+	// attempts opens the breaker. Each one is served locally meanwhile.
 	for _, uc := range cases {
 		key := wire.RouteKey(snap.Fingerprint, wire.GenerateRequest{UseCase: uc.ID})
 		if srvs[0].cluster.ownerPeer(key) == "" {
 			continue // need keys the dead peer owns
 		}
+		peerKey = key
 		resp, err := srvs[0].Generate(ctx, wire.GenerateRequest{UseCase: uc.ID})
 		if err != nil {
 			t.Fatalf("use case %d with dead owner: %v", uc.ID, err)
@@ -196,10 +208,9 @@ func TestClusterPeerDownFallback(t *testing.T) {
 			t.Errorf("use case %d: response claims forwarded with the owner down", uc.ID)
 		}
 		served++
-		break
 	}
-	if served == 0 {
-		t.Fatal("no template hashes to the dead peer")
+	if served < 3 {
+		t.Fatalf("only %d templates hash to the dead peer, need >= 3 to complete a failure streak", served)
 	}
 	m := srvs[0].MetricsSnapshot()
 	if m.ForwardFallbacks < 1 {
@@ -207,9 +218,14 @@ func TestClusterPeerDownFallback(t *testing.T) {
 	}
 	ps := m.Peers[srvs[1].cfg.Self]
 	if ps.Healthy {
-		t.Error("dead peer still marked healthy after a failed forward")
+		t.Error("dead peer still marked healthy after a failure streak")
 	}
-	// With the peer ejected, node 0 owns every key: no further forwards.
+	if ps.BreakerState != "open" {
+		t.Errorf("dead peer breaker_state = %q, want open", ps.BreakerState)
+	}
+	// With the breaker open no forward attempt reaches the wire (the open
+	// window matches the probe interval, far beyond this test): repeating
+	// every request is served from the local cache or generated locally.
 	before := srvs[0].MetricsSnapshot().ForwardedTotal
 	for _, uc := range cases {
 		if _, err := srvs[0].Generate(ctx, wire.GenerateRequest{UseCase: uc.ID}); err != nil {
@@ -217,7 +233,15 @@ func TestClusterPeerDownFallback(t *testing.T) {
 		}
 	}
 	if after := srvs[0].MetricsSnapshot().ForwardedTotal; after != before {
-		t.Errorf("ejected peer still receives forwards (%d -> %d)", before, after)
+		t.Errorf("open-breaker peer still receives forwards (%d -> %d)", before, after)
+	}
+	// A peer-owned key offered to the forwarder while the breaker is open
+	// is rejected (generate locally) and the rejection is counted.
+	if owner := srvs[0].cluster.ownerPeer(peerKey); owner != "" {
+		t.Errorf("ownerPeer(%q) = %q while the owner's breaker is open, want local", peerKey, owner)
+	}
+	if got := srvs[0].MetricsSnapshot().BreakerRejects; got < 1 {
+		t.Errorf("breaker_rejects = %d, want >= 1 while the peer is open", got)
 	}
 }
 
@@ -239,7 +263,7 @@ func TestClusterProbeEjectsAndReadmits(t *testing.T) {
 	}))
 	defer peer.Close()
 
-	c := newCluster("http://self", []string{peer.URL}, 20*time.Millisecond)
+	c := newCluster("http://self", []string{peer.URL}, 20*time.Millisecond, 0)
 	defer c.close()
 
 	inMembers := func() bool {

@@ -68,6 +68,10 @@ type Config struct {
 	// unhealthy peers from the forwarding set and re-admits them on
 	// recovery (0 = 2s).
 	PeerProbeInterval time.Duration
+	// PeerFailureThreshold is the consecutive forward/probe failure streak
+	// that opens a peer's circuit breaker, removing it from the forwarding
+	// set until a half-open trial succeeds (0 = 3).
+	PeerFailureThreshold int
 }
 
 // Server is the generation daemon: registry + worker pool + result cache
@@ -158,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 		onPanic:           s.recordPanic,
 	})
 	if len(cfg.Peers) > 0 {
-		s.cluster = newCluster(cfg.Self, cfg.Peers, cfg.PeerProbeInterval)
+		s.cluster = newCluster(cfg.Self, cfg.Peers, cfg.PeerProbeInterval, cfg.PeerFailureThreshold)
 	}
 	// Warm the embedded templates' plans in the background. The gen.New
 	// inside rides the universe warm-up started above rather than racing
@@ -390,6 +394,7 @@ func (s *Server) MetricsSnapshot() wire.Metrics {
 	if s.cluster != nil {
 		m.Self = s.cluster.self
 		m.Peers = s.cluster.peerStatuses()
+		m.BreakerRejects = s.cluster.breakerRejects()
 	}
 	return m
 }

@@ -51,6 +51,9 @@ type Metrics struct {
 	ForwardFallbacks int64 `json:"forward_fallbacks"`
 	// ForwardHitRate is ForwardHits / ForwardedTotal.
 	ForwardHitRate float64 `json:"forward_hit_rate"`
+	// BreakerRejects sums, over all peers, the forward attempts this node's
+	// per-peer circuit breakers rejected without trying (peer open).
+	BreakerRejects int64 `json:"breaker_rejects"`
 	// Self is this node's advertised base URL in cluster mode.
 	Self string `json:"self,omitempty"`
 	// Peers maps each peer base URL to its health as seen by this node.
@@ -60,11 +63,38 @@ type Metrics struct {
 // PeerStatus is one peer's health as tracked by a node's forwarder.
 type PeerStatus struct {
 	Healthy bool `json:"healthy"`
+	// BreakerState is the peer's circuit-breaker state as seen by this
+	// node: "closed" (forwarding), "open" (cooling off after a failure
+	// streak), or "half-open" (one trial in flight).
+	BreakerState string `json:"breaker_state,omitempty"`
 	// Failures counts consecutive probe/forward failures since the peer
 	// was last seen healthy.
 	Failures int64 `json:"failures"`
 	// Forwarded counts requests this node forwarded to the peer.
 	Forwarded int64 `json:"forwarded"`
+	// BreakerRejects counts forward attempts rejected by this peer's open
+	// breaker (each one generated locally instead).
+	BreakerRejects int64 `json:"breaker_rejects,omitempty"`
 	// LastError is the most recent failure, empty while healthy.
 	LastError string `json:"last_error,omitempty"`
+}
+
+// ClientStats is the client SDK's local view of its own resilience
+// machinery — retries spent, breaker rejections, retry-budget refusals —
+// exposed via Client.Stats for operators and the chaos suite. It is not a
+// daemon endpoint; the daemon-side equivalents live in Metrics.
+type ClientStats struct {
+	// Retries counts retry attempts actually sent (first attempts are not
+	// retries).
+	Retries int64 `json:"retries"`
+	// BreakerRejects counts node-selection rejections by per-node open
+	// breakers (the request moved on to another node).
+	BreakerRejects int64 `json:"breaker_rejects"`
+	// RetryBudgetExhausted counts retries refused by the global retry
+	// budget; each refusal surfaced the last error to the caller.
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	// RetryBudgetTokens is the current token balance.
+	RetryBudgetTokens float64 `json:"retry_budget_tokens"`
+	// BreakerStates maps each configured node to its breaker state.
+	BreakerStates map[string]string `json:"breaker_states,omitempty"`
 }
