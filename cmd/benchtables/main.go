@@ -308,6 +308,24 @@ type serviceBenchResult struct {
 	NodeKillRecoveryMS   float64 `json:"node_kill_recovery_ms"`
 	BreakerRejects       int64   `json:"breaker_rejects"`
 	ChaosClientRetries   int64   `json:"chaos_client_retries"`
+
+	// Warm-restart rows (S24/E14, internal/loadgen.RunWarmRestart): one
+	// snapshot-enabled node of three crashed mid-load (no drain, no
+	// parting snapshot) and restarted. RestoreHitRate is the restored
+	// node's cache hit rate over the first post-restart window (gated at
+	// >= 0.5 by -smoke); WarmRestartMS is gated against a multiple of
+	// PlainRestartMS so restoring can never dominate boot.
+	PlainRestartMS float64 `json:"plain_restart_ms"`
+	WarmRestartMS  float64 `json:"warm_restart_ms"`
+	RestoreEntries int64   `json:"restore_entries"`
+	RestoreHitRate float64 `json:"restore_hit_rate"`
+
+	// Hedge rows (internal/loadgen.RunHedge): one node of three gets
+	// injected client-path latency (slow but healthy); the hedged pass
+	// must beat the unhedged p99 with wins and zero budget exhaustion.
+	UnhedgedP99MS float64 `json:"unhedged_p99_ms"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms"`
+	HedgeWinRate  float64 `json:"hedge_win_rate"`
 }
 
 // serviceBench measures the cryptgend daemon (S19/E9): the process
@@ -649,6 +667,44 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		log.Fatalf("chaos stage: %d responses diverged from their key's first answer", cres.Divergence)
 	}
 
+	// Warm-restart stage (S24/E14): crash a snapshot-enabled node under
+	// load, restart it warm, then corrupt the snapshot and prove the same
+	// crash cold-starts cleanly. The durability contract is enforced here
+	// regardless of gating; the hit-rate and restart-cost gates are -smoke.
+	wres, err := loadgen.RunWarmRestart(ctx, loadgen.WarmRestartOptions{})
+	if err != nil {
+		log.Fatalf("warm-restart stage: %v", err)
+	}
+	if wres.Divergence > 0 {
+		log.Fatalf("warm-restart stage: %d responses diverged across the crash/restart", wres.Divergence)
+	}
+	if !wres.CorruptColdStart {
+		log.Fatal("warm-restart stage: corrupt-snapshot leg did not complete")
+	}
+
+	// Hedge stage: hedged requests against a slow-but-healthy node must
+	// win races, beat the unhedged p99, and stay within the retry budget.
+	hres, err := loadgen.RunHedge(ctx, loadgen.HedgeOptions{})
+	if err != nil {
+		log.Fatalf("hedge stage: %v", err)
+	}
+	if hres.HedgeWins == 0 {
+		log.Fatal("hedge stage: no hedge ever won — hedging did not engage against the slow node")
+	}
+	if hres.RetryBudgetExhausted != 0 {
+		log.Fatalf("hedge stage: retry budget exhausted %d time(s)", hres.RetryBudgetExhausted)
+	}
+	if hres.Divergence > 0 {
+		log.Fatalf("hedge stage: %d hedged responses diverged", hres.Divergence)
+	}
+	if hres.HedgedP99MS >= hres.UnhedgedP99MS {
+		log.Fatalf("hedge stage: hedged p99 %.2fms did not beat unhedged %.2fms", hres.HedgedP99MS, hres.UnhedgedP99MS)
+	}
+	hedgeWinRate := 0.0
+	if hres.HedgedTotal > 0 {
+		hedgeWinRate = float64(hres.HedgeWins) / float64(hres.HedgedTotal)
+	}
+
 	m := srv.MetricsSnapshot()
 	hitRate := m.CacheHitRate
 	res := serviceBenchResult{
@@ -694,6 +750,13 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 		NodeKillRecoveryMS:    cres.NodeKillRecoveryMS,
 		BreakerRejects:        cres.BreakerRejects,
 		ChaosClientRetries:    cres.ClientRetries,
+		PlainRestartMS:        wres.PlainRestartMS,
+		WarmRestartMS:         wres.WarmRestartMS,
+		RestoreEntries:        wres.RestoreEntries,
+		RestoreHitRate:        wres.RestoreHitRate,
+		UnhedgedP99MS:         hres.UnhedgedP99MS,
+		HedgedP99MS:           hres.HedgedP99MS,
+		HedgeWinRate:          hedgeWinRate,
 	}
 
 	fmt.Println("Service (cryptgend daemon): cold one-shot vs warm long-lived process")
@@ -730,6 +793,10 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	fmt.Printf("  chaos (kill 1 of 3 under load, probe %.0fms): %d reqs 0 lost; p99 steady %.2fms -> failover %.2fms; recovery %.1fms; %d retries, %d breaker rejects\n",
 		res.ChaosProbeIntervalMS, res.ChaosRequests, res.SteadyP99MS, res.FailoverP99MS,
 		res.NodeKillRecoveryMS, res.ChaosClientRetries, res.BreakerRejects)
+	fmt.Printf("  warm restart (crash 1 of 3, snapshot restore): %.1fms vs plain %.1fms; %d entries restored, first-window hit rate %.2f; corrupt snapshot -> clean cold start\n",
+		res.WarmRestartMS, res.PlainRestartMS, res.RestoreEntries, res.RestoreHitRate)
+	fmt.Printf("  hedging (300ms slow node): p99 unhedged %.2fms -> hedged %.2fms, win rate %.2f\n",
+		res.UnhedgedP99MS, res.HedgedP99MS, res.HedgeWinRate)
 	if res.ClusterSpeedup4 < 2 && !smoke {
 		fmt.Printf("  WARNING: 4-node cluster speedup %.2fx < 2x target\n", res.ClusterSpeedup4)
 	}
@@ -768,6 +835,24 @@ func serviceBench(clients, perClient int, jsonPath string, smoke bool, gate bool
 	if gate && res.NodeKillRecoveryMS > 2*res.ChaosProbeIntervalMS {
 		log.Fatalf("failover gate: node-kill recovery %.1fms > 2x probe interval %.0fms — probe success is not re-admitting the restarted node",
 			res.NodeKillRecoveryMS, res.ChaosProbeIntervalMS)
+	}
+	// Durability gates (E14 acceptance): the restored node's first window
+	// must be mostly warm (>= 0.5 hit rate — it owned those keys before
+	// the crash), and restoring must not turn restart into the new
+	// outage: warm restart within 5x a plain one (100ms floor, because
+	// sub-100ms restarts are scheduler-noise-dominated).
+	if gate && res.RestoreHitRate < 0.5 {
+		log.Fatalf("restore gate: first-window hit rate %.2f < 0.5 — the snapshot is not restoring the working set", res.RestoreHitRate)
+	}
+	if gate {
+		base := res.PlainRestartMS
+		if base < 100 {
+			base = 100
+		}
+		if res.WarmRestartMS > 5*base {
+			log.Fatalf("restart-cost gate: warm restart %.1fms > 5x plain restart baseline %.1fms — snapshot restore dominates boot",
+				res.WarmRestartMS, base)
+		}
 	}
 }
 

@@ -15,7 +15,7 @@
 //	GET  /v1/rules           compiled rules + rule-set fingerprint
 //	GET  /v1/templates       embedded use-case templates
 //	GET  /healthz            liveness + rule-set fingerprint
-//	GET  /readyz             readiness: ok | degraded (last reload failed) | draining
+//	GET  /readyz             readiness: ok | restoring (snapshot re-warm) | degraded (last reload failed) | draining
 //	GET  /metrics            request/cache/coalescing/latency/resilience counters
 //	GET  /debug/pprof/       live profiling endpoints (only with -pprof)
 //
@@ -69,6 +69,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -98,6 +99,8 @@ func main() {
 	self := flag.String("self", "", `this node's base URL as peers address it, e.g. "http://10.0.0.1:8572" (cluster mode; required with -peers)`)
 	peers := flag.String("peers", "", `comma-separated peer base URLs; enables peer forwarding so the cluster's result caches shard by key instead of duplicating`)
 	probe := flag.Duration("peer-probe", 2*time.Second, "peer /readyz probe interval (cluster mode)")
+	snapshotDir := flag.String("snapshot-dir", "", "enable warm-restart durability: periodically write a crash-safe snapshot of the result cache and rule source here, and restore it at boot")
+	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence (with -snapshot-dir)")
 	flag.Parse()
 
 	var peerList []string
@@ -124,9 +127,11 @@ func main() {
 	}
 
 	var loader func() (*crysl.RuleSet, error)
+	var ruleSources func() (map[string]string, error)
 	if *rulesDir != "" {
 		d := *rulesDir
 		loader = func() (*crysl.RuleSet, error) { return rules.TryLoad(d) }
+		ruleSources = func() (map[string]string, error) { return dirRuleSources(d) }
 	}
 
 	srv, err := service.New(service.Config{
@@ -138,6 +143,10 @@ func main() {
 		MaxWaiters:     *maxWaiters,
 		MaxBodyBytes:   *maxBody,
 		Loader:         loader,
+		RuleSources:    ruleSources,
+
+		SnapshotDir:      *snapshotDir,
+		SnapshotInterval: *snapshotEvery,
 
 		Self:              strings.TrimRight(*self, "/"),
 		Peers:             peerList,
@@ -176,20 +185,100 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *snapshotDir != "" {
+		log.Printf("warm-restart snapshots in %s every %s", *snapshotDir, *snapshotEvery)
+	}
+
+	// Manual signal channel instead of NotifyContext: the first signal
+	// starts the graceful drain; a second one during the drain must be
+	// observable so the operator can force an exit out of a stuck drain.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		log.Fatal(err)
-	case <-ctx.Done():
+	case sig := <-sigc:
+		log.Printf("%v: draining for up to %s (signal again to force exit)", sig, *drain)
 	}
-	stop()
-	log.Printf("shutting down: draining for up to %s", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("listener shutdown: %v", err)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("listener shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+	// The drain timer gets headroom past -drain (which bounds the listener
+	// shutdown) so the pool's own drain can finish; past that the drain is
+	// stuck and the process force-exits rather than hang forever.
+	switch awaitDrain(done, sigc, *drain+5*time.Second) {
+	case drainDone:
+		log.Printf("drained, exiting")
+	case drainSignal:
+		log.Printf("second signal during drain: forcing exit")
+		finalSnapshot(srv)
+		os.Exit(1)
+	case drainTimeout:
+		log.Printf("drain did not finish within %s: forcing exit", *drain+5*time.Second)
+		finalSnapshot(srv)
+		os.Exit(1)
 	}
-	srv.Close()
-	log.Printf("drained, exiting")
+}
+
+// drainOutcome is how a graceful drain ended: completed, interrupted by a
+// second signal, or stuck past its deadline.
+type drainOutcome int
+
+const (
+	drainDone drainOutcome = iota
+	drainSignal
+	drainTimeout
+)
+
+// awaitDrain waits for the drain goroutine, a second operator signal, or
+// the drain deadline — whichever comes first.
+func awaitDrain(done <-chan struct{}, sigc <-chan os.Signal, timeout time.Duration) drainOutcome {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return drainDone
+	case <-sigc:
+		return drainSignal
+	case <-t.C:
+		return drainTimeout
+	}
+}
+
+// finalSnapshot writes a best-effort parting snapshot on the forced-exit
+// paths, where the graceful Close (whose own final snapshot never ran or
+// never finished) was abandoned. Errors are logged, not fatal — the
+// process is exiting either way.
+func finalSnapshot(srv *service.Server) {
+	if err := srv.SnapshotNow(); err != nil {
+		log.Printf("final snapshot: %v", err)
+	}
+}
+
+// dirRuleSources reads an external -rules directory's *.crysl files for
+// the warm-restart snapshot's rule-source capture.
+func dirRuleSources(dir string) (map[string]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".crysl") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = string(data)
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"strings"
 	"syscall"
@@ -96,5 +97,42 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained, exiting") {
 		t.Errorf("expected graceful-drain log line; output:\n%s", out.String())
+	}
+}
+
+// awaitDrain decides how a graceful drain ends: normally, forced by a
+// second operator signal, or forced by the drain deadline. All three arms
+// must be reachable.
+
+func TestAwaitDrainCompletes(t *testing.T) {
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	if got := awaitDrain(done, sigc, 5*time.Second); got != drainDone {
+		t.Fatalf("want drainDone, got %v", got)
+	}
+}
+
+func TestAwaitDrainSecondSignalForcesExit(t *testing.T) {
+	done := make(chan struct{}) // drain never finishes (stuck)
+	sigc := make(chan os.Signal, 1)
+	sigc <- syscall.SIGTERM
+	if got := awaitDrain(done, sigc, 5*time.Second); got != drainSignal {
+		t.Fatalf("want drainSignal, got %v", got)
+	}
+}
+
+func TestAwaitDrainTimeoutForcesExit(t *testing.T) {
+	done := make(chan struct{}) // drain never finishes (stuck)
+	sigc := make(chan os.Signal, 1)
+	start := time.Now()
+	if got := awaitDrain(done, sigc, 20*time.Millisecond); got != drainTimeout {
+		t.Fatalf("want drainTimeout, got %v", got)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timeout arm took %v", time.Since(start))
 	}
 }

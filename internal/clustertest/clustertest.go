@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http/httptest"
+	"path/filepath"
 	"time"
 
 	"cognicryptgen/service"
@@ -77,6 +78,12 @@ func Start(n int, cfg service.Config) (*Cluster, error) {
 				nodeCfg.Peers = append(nodeCfg.Peers, u)
 			}
 		}
+		// A shared SnapshotDir would have the nodes clobber each other's
+		// snapshot file; give each its own subdirectory. The per-node dir
+		// is retained in cfg, so a Restarted node restores its own state.
+		if cfg.SnapshotDir != "" {
+			nodeCfg.SnapshotDir = filepath.Join(cfg.SnapshotDir, fmt.Sprintf("node%d", i))
+		}
 		srv, err := service.New(nodeCfg)
 		if err != nil {
 			c.Close()
@@ -96,9 +103,11 @@ func Start(n int, cfg service.Config) (*Cluster, error) {
 
 // Kill takes node i down hard: in-flight connections are severed, the
 // listener closes (peers and clients see connection refused), and the
-// daemon shuts down. The chaos suite's "kubectl delete pod". The node's
-// address stays reserved in every other node's Peers list; Restart brings
-// a fresh daemon back on it.
+// daemon is aborted crash-shaped — no drain, no parting snapshot, so a
+// snapshot-enabled node restores only what its periodic writer already
+// made durable, exactly like a real crash. The chaos suite's "kubectl
+// delete pod". The node's address stays reserved in every other node's
+// Peers list; Restart brings a fresh daemon back on it.
 func (c *Cluster) Kill(i int) {
 	n := c.Nodes[i]
 	if n.killed {
@@ -107,11 +116,12 @@ func (c *Cluster) Kill(i int) {
 	n.killed = true
 	n.HTTP.CloseClientConnections()
 	n.HTTP.Close()
-	n.Srv.Close()
+	n.Srv.Abort()
 }
 
-// Restart replaces a killed node with a brand-new daemon (empty caches,
-// fresh breakers) listening on the same address, as a supervisor would.
+// Restart replaces a killed node with a brand-new daemon listening on the
+// same address, as a supervisor would — fresh breakers, and caches that
+// are empty unless the node's SnapshotDir holds a restorable snapshot.
 // The bind can race the dying listener's socket, so it retries briefly.
 func (c *Cluster) Restart(i int) error {
 	n := c.Nodes[i]

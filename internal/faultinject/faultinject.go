@@ -54,6 +54,14 @@ const (
 	// PointClientTransport fires on every request the client SDK's default
 	// HTTP client sends through the fault Transport.
 	PointClientTransport = "client-transport"
+	// PointSnapshotWrite fires at the head of persist.Store.Save, before the
+	// temp file is created, so an injected error or panic models a snapshot
+	// writer dying mid-flight (the previous snapshot must survive intact).
+	PointSnapshotWrite = "snapshot-write"
+	// PointSnapshotLoad fires at the head of persist.Store.Load, so an
+	// injected error or panic models a torn/poisoned snapshot at boot (the
+	// daemon must degrade to a cold start, never crash).
+	PointSnapshotLoad = "snapshot-load"
 )
 
 // Mode selects what an armed fault point does when fired.

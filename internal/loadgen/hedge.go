@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"cognicryptgen/client"
+	"cognicryptgen/internal/clustertest"
+	"cognicryptgen/internal/faultinject"
+	"cognicryptgen/service"
+	"cognicryptgen/templates"
+	"cognicryptgen/wire"
+)
+
+// HedgeOptions configures one hedged-request tail drill. Zero values get
+// drill defaults.
+type HedgeOptions struct {
+	// Nodes is the cluster size (>= 2 so a hedge has somewhere to go).
+	Nodes int
+	// WorkingSet is the number of distinct (pre-warmed) template keys.
+	WorkingSet int
+	// Requests is how many measured requests each pass issues.
+	Requests int
+	// CacheSize / Workers are each node's sizing.
+	CacheSize int
+	Workers   int
+	// Victim is the node the injected latency targets (default 1).
+	Victim int
+	// SlowLatency is the latency injected on every client request to the
+	// victim — slow but not failing, the pathology breakers cannot see.
+	SlowLatency time.Duration
+	// HedgeDelay is the explicit hedge delay for the hedged pass.
+	HedgeDelay time.Duration
+}
+
+// HedgeResult is one tail drill's measurement.
+type HedgeResult struct {
+	Nodes         int     `json:"nodes"`
+	WorkingSet    int     `json:"working_set"`
+	Requests      int     `json:"requests"`
+	SlowLatencyMS float64 `json:"slow_latency_ms"`
+	// UnhedgedP99MS inherits the slow node's injected latency (its keys
+	// are ~1/Nodes of traffic, far more than 1%); HedgedP99MS must beat it.
+	UnhedgedP99MS float64 `json:"unhedged_p99_ms"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms"`
+	// HedgedTotal / HedgeWins are the hedged pass's SDK counters; the
+	// contract is HedgeWins > 0 (the hedge actually rescued requests) with
+	// RetryBudgetExhausted == 0 (within budget, no amplification).
+	HedgedTotal          int64 `json:"hedged_total"`
+	HedgeWins            int64 `json:"hedge_wins"`
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	// Errors and Divergence cover both passes (contract: 0 each — hedged
+	// answers are byte-identical to the primed ones).
+	Errors     int `json:"errors"`
+	Divergence int `json:"divergence"`
+}
+
+// RunHedge measures what hedged requests buy against a slow-but-healthy
+// node: one cluster member gets injected client-path latency (it still
+// answers, so breakers and probes never eject it), an unhedged pass
+// inherits its latency as the cluster p99, and a hedged pass must beat
+// that p99 by racing a budget-gated second attempt after HedgeDelay. The
+// hedge lands on the next-ranked node, whose un-faulted peer channel
+// reaches the owner's warm cache.
+func RunHedge(ctx context.Context, opts HedgeOptions) (HedgeResult, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Nodes < 2 {
+		return HedgeResult{}, fmt.Errorf("loadgen: hedge drill needs >= 2 nodes, got %d", opts.Nodes)
+	}
+	if opts.WorkingSet <= 0 {
+		opts.WorkingSet = 12
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 120
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 64
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Victim <= 0 || opts.Victim >= opts.Nodes {
+		opts.Victim = 1
+	}
+	if opts.SlowLatency <= 0 {
+		opts.SlowLatency = 300 * time.Millisecond
+	}
+	if opts.HedgeDelay <= 0 {
+		opts.HedgeDelay = 25 * time.Millisecond
+	}
+
+	res := HedgeResult{
+		Nodes:         opts.Nodes,
+		WorkingSet:    opts.WorkingSet,
+		Requests:      opts.Requests,
+		SlowLatencyMS: float64(opts.SlowLatency) / float64(time.Millisecond),
+	}
+
+	cl, err := clustertest.Start(opts.Nodes, service.Config{
+		Workers:   opts.Workers,
+		CacheSize: opts.CacheSize,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cl.Close()
+
+	uc := templates.UseCases[2]
+	src, err := templates.Source(uc)
+	if err != nil {
+		return res, err
+	}
+	reqFor := func(k int) wire.GenerateRequest {
+		return wire.GenerateRequest{
+			Name:   fmt.Sprintf("hedge%03d.go", k),
+			Source: src + fmt.Sprintf("\n// hedge working-set key %03d\n", k),
+		}
+	}
+
+	// Prime every key through a plain SDK before any fault is armed, so
+	// every owner's cache is warm: the drill measures tail latency of a
+	// steady-state cluster, not generation cost.
+	prime, err := client.New(client.Config{Nodes: cl.URLs(), MaxRetries: 4, ProbeInterval: -1})
+	if err != nil {
+		return res, err
+	}
+	firstOut := make([]string, opts.WorkingSet)
+	for k := 0; k < opts.WorkingSet; k++ {
+		resp, err := prime.Generate(ctx, reqFor(k))
+		if err != nil {
+			prime.Close()
+			return res, fmt.Errorf("loadgen: priming key %d: %w", k, err)
+		}
+		firstOut[k] = resp.Output
+	}
+	prime.Close()
+
+	// Slow down every SDK request to the victim — host-targeted, so the
+	// peer channel between nodes stays fast (that is the road a hedge's
+	// forwarded attempt takes to the owner's cache).
+	victimHost := strings.TrimPrefix(cl.Nodes[opts.Victim].URL, "http://")
+	point := faultinject.PointClientTransport + "@" + victimHost
+	faultinject.Arm(point, faultinject.Fault{Mode: faultinject.ModeLatency, Latency: opts.SlowLatency})
+	defer faultinject.Disarm(point)
+
+	pass := func(sdk *client.Client) ([]time.Duration, error) {
+		// One unmeasured warm-up teaches the SDK the rule-set fingerprint,
+		// so the measured requests route to their true owners.
+		if _, err := sdk.Generate(ctx, reqFor(0)); err != nil {
+			return nil, err
+		}
+		lats := make([]time.Duration, 0, opts.Requests)
+		for i := 0; i < opts.Requests; i++ {
+			k := i % opts.WorkingSet
+			t0 := time.Now()
+			resp, err := sdk.Generate(ctx, reqFor(k))
+			if err != nil {
+				res.Errors++
+				continue
+			}
+			if resp.Output != firstOut[k] {
+				res.Divergence++
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		return lats, nil
+	}
+
+	unhedged, err := client.New(client.Config{Nodes: cl.URLs(), MaxRetries: 4, ProbeInterval: -1})
+	if err != nil {
+		return res, err
+	}
+	lats, err := pass(unhedged)
+	unhedged.Close()
+	if err != nil {
+		return res, err
+	}
+	_, res.UnhedgedP99MS = quantilesMS(lats)
+
+	hedged, err := client.New(client.Config{
+		Nodes:         cl.URLs(),
+		MaxRetries:    4,
+		Hedge:         true,
+		HedgeDelay:    opts.HedgeDelay,
+		RetryBudget:   float64(opts.Requests),
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		return res, err
+	}
+	lats, err = pass(hedged)
+	st := hedged.Stats()
+	hedged.Close()
+	if err != nil {
+		return res, err
+	}
+	_, res.HedgedP99MS = quantilesMS(lats)
+	res.HedgedTotal = st.HedgedTotal
+	res.HedgeWins = st.HedgeWins
+	res.RetryBudgetExhausted = st.RetryBudgetExhausted
+	return res, ctx.Err()
+}

@@ -73,6 +73,19 @@ go test -race -run 'TestClusterChaos' -count=1 ./internal/clustertest
 echo "==> loadgen chaos drill (kill 1 of 3 under load)"
 go run ./cmd/loadgen -chaos
 
+# Warm-restart durability drill: crash a snapshot-enabled node mid-load
+# (no drain, no parting snapshot), restart it, and require restored
+# entries served byte-identically with first-window cache hits; then
+# corrupt the snapshot and require a clean cold start instead of a crash.
+echo "==> loadgen warm-restart drill (crash, snapshot restore, corruption)"
+go run ./cmd/loadgen -warmrestart
+
+# Hedged-request tail drill: one node gets 300ms injected client-path
+# latency (slow but healthy — invisible to breakers); hedging must win
+# races, beat the unhedged p99, and never exhaust the retry budget.
+echo "==> loadgen hedge drill (300ms slow node, budget-gated hedging)"
+go run ./cmd/loadgen -hedge
+
 # Smoke the daemon benchmark end to end (batch + coalescing tables
 # included) without the full measurement repetitions. This doubles as two
 # regression gates: benchtables exits non-zero if subsequent Generator
@@ -81,8 +94,10 @@ go run ./cmd/loadgen -chaos
 # compiled plan costs more than 5x a result-cache hit (the plan fast path
 # stopped engaging), or if node-kill recovery in the E13 chaos stage takes
 # longer than 2x the peer probe interval (probe success stopped
-# re-admitting restarted nodes).
-echo "==> benchtables service smoke (incl. cold-start + plan + failover gates)"
+# re-admitting restarted nodes), or if the warm-restart stage restores
+# under a 0.5 first-window hit rate / costs more than 5x a plain restart
+# (durability regressed or began dominating boot).
+echo "==> benchtables service smoke (incl. cold-start + plan + failover + durability gates)"
 go run ./cmd/benchtables -table service -smoke
 
 echo "==> verify OK"

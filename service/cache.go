@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"cognicryptgen/internal/persist"
 )
 
 // The cache-key derivation lives in wire.CacheKey now: the key doubles as
@@ -19,9 +21,17 @@ type resultCache struct {
 	m   map[string]*list.Element
 }
 
+// cacheEntry carries the request tuple alongside the response so the
+// warm-restart snapshot is self-contained: a restored entry can refill the
+// result cache by key AND re-warm the plan cache from its (name, source,
+// package, verify) tuple without re-deriving anything.
 type cacheEntry struct {
-	key  string
-	resp GenerateResponse
+	key    string
+	resp   GenerateResponse
+	name   string
+	src    string
+	pkg    string
+	verify bool
 }
 
 func newResultCache(max int) *resultCache {
@@ -42,7 +52,7 @@ func (c *resultCache) get(key string) (GenerateResponse, bool) {
 	return el.Value.(*cacheEntry).resp, true
 }
 
-func (c *resultCache) put(key string, resp GenerateResponse) {
+func (c *resultCache) put(key string, resp GenerateResponse, name, src, pkg string, verify bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -50,7 +60,7 @@ func (c *resultCache) put(key string, resp GenerateResponse) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, name: name, src: src, pkg: pkg, verify: verify})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -62,4 +72,34 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// export walks the cache LRU-first into snapshot entries, so a restore
+// replaying them in order (each insert becoming most-recent) reproduces
+// today's recency ordering exactly.
+func (c *resultCache) export() []persist.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]persist.Entry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, persist.Entry{
+			Key: e.key, Name: e.name, Source: e.src, Package: e.pkg, Verify: e.verify,
+			Response: e.resp,
+		})
+	}
+	return out
+}
+
+// restore refills the cache from snapshot entries (LRU-first order, as
+// export wrote them). Entries beyond the cache bound evict normally, so a
+// snapshot from a larger cache degrades to the newest entries that fit.
+func (c *resultCache) restore(entries []persist.Entry) int {
+	for _, e := range entries {
+		if e.Key == "" || e.Response.Output == "" {
+			continue
+		}
+		c.put(e.Key, e.Response, e.Name, e.Source, e.Package, e.Verify)
+	}
+	return c.len()
 }

@@ -85,6 +85,18 @@ type Registry struct {
 // NewRegistry compiles the initial snapshot using loader (nil = the
 // embedded gca rule set via rules.LoadFresh).
 func NewRegistry(loader func() (*crysl.RuleSet, error)) (*Registry, error) {
+	return NewRegistryWithFallback(loader, nil)
+}
+
+// NewRegistryWithFallback is NewRegistry with a boot-only escape hatch:
+// when the operator's loader fails at startup and fallback is non-nil, the
+// registry boots from the fallback rule set (the last-good rules recovered
+// from a warm-restart snapshot) instead of refusing to start. The
+// operator's loader stays wired for /v1/reload — a later successful reload
+// swaps the real rules in and clears the degraded state — and the boot
+// failure is recorded as degraded so /readyz tells the operator their
+// configured rules are not the ones serving.
+func NewRegistryWithFallback(loader, fallback func() (*crysl.RuleSet, error)) (*Registry, error) {
 	if loader == nil {
 		loader = rules.LoadFresh
 	}
@@ -95,7 +107,24 @@ func NewRegistry(loader func() (*crysl.RuleSet, error)) (*Registry, error) {
 		building: map[*crysl.RuleSet]bool{},
 	}
 	if _, err := r.Reload(); err != nil {
-		return nil, err
+		if fallback == nil {
+			return nil, err
+		}
+		r.loader = fallback
+		_, ferr := r.Reload()
+		r.loader = loader
+		if ferr != nil {
+			// The fallback could not serve either; the original failure is
+			// the actionable one.
+			return nil, err
+		}
+		r.mu.Lock()
+		r.degraded = RegistryHealth{
+			Degraded:  true,
+			LastError: "boot loader failed, serving rule set restored from snapshot: " + err.Error(),
+			FailedAt:  time.Now(),
+		}
+		r.mu.Unlock()
 	}
 	return r, nil
 }

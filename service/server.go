@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
@@ -16,7 +17,9 @@ import (
 	"cognicryptgen/analysis"
 	"cognicryptgen/crysl"
 	"cognicryptgen/gen"
+	"cognicryptgen/internal/persist"
 	"cognicryptgen/internal/srccheck"
+	"cognicryptgen/rules"
 	"cognicryptgen/templates"
 	"cognicryptgen/wire"
 )
@@ -54,6 +57,21 @@ type Config struct {
 	// the embedded gca rules).
 	Loader func() (*crysl.RuleSet, error)
 
+	// SnapshotDir enables warm-restart durability: the server periodically
+	// (and on graceful Close) writes a crash-safe snapshot of its result
+	// cache and rule-set source there, and restores it at boot — before the
+	// caller can start a listener — so a restarted node serves warm instead
+	// of cold ("" = snapshots off). Any unusable snapshot degrades to a
+	// logged cold start.
+	SnapshotDir string
+	// SnapshotInterval paces the periodic snapshot writer (0 = 60s).
+	SnapshotInterval time.Duration
+	// RuleSources supplies the active rule-set source files (name → CrySL
+	// text) for the snapshot, enabling rules-from-snapshot recovery when
+	// the boot loader fails. Nil with a nil Loader defaults to the embedded
+	// rule sources; nil with a custom Loader snapshots no rule files.
+	RuleSources func() (map[string]string, error)
+
 	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8080")
 	// in cluster mode. Peers use it only for display; forwarding decisions
 	// hash Self against Peers, so it must be the same string the other
@@ -89,6 +107,17 @@ type Server struct {
 	transport *transport
 	cluster   *cluster
 	started   time.Time
+
+	// Warm-restart snapshot state (nil/zero without Config.SnapshotDir).
+	store          *persist.Store
+	snapStop       chan struct{}
+	snapDone       chan struct{}
+	snapOnce       sync.Once
+	restoring      atomic.Bool // boot restore's plan re-warm still running
+	snapshotBytes  atomic.Int64
+	snapshotAt     atomic.Int64 // UnixNano of the last successful write
+	restoreEntries atomic.Int64
+	restoreMS      atomic.Int64
 
 	// draining flips when Close begins; /readyz reports it so load
 	// balancers stop routing before the listener goes away.
@@ -130,7 +159,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	registry, err := NewRegistry(cfg.Loader)
+	if cfg.RuleSources == nil && cfg.Loader == nil {
+		cfg.RuleSources = rules.Sources
+	}
+	// Load the warm-restart snapshot BEFORE building the registry: its
+	// captured rule source is the boot fallback when the operator's loader
+	// fails, and its cache entries refill the result cache below.
+	var store *persist.Store
+	var restored *persist.Snapshot
+	if cfg.SnapshotDir != "" {
+		st, err := persist.NewStore(cfg.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		store = st
+		restored = loadSnapshot(store)
+	}
+	registry, err := NewRegistryWithFallback(cfg.Loader, snapshotRuleLoader(restored))
 	if err != nil {
 		return nil, err
 	}
@@ -164,11 +209,35 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Peers) > 0 {
 		s.cluster = newCluster(cfg.Self, cfg.Peers, cfg.PeerProbeInterval, cfg.PeerFailureThreshold)
 	}
+	// Refill the result cache from the snapshot synchronously — New has not
+	// returned, so no listener exists yet and the first request a restarted
+	// node sees already finds warm state.
+	s.store = store
+	warm := restored != nil && s.restoreSnapshot(restored)
+	s.restoring.Store(warm)
 	// Warm the embedded templates' plans in the background. The gen.New
 	// inside rides the universe warm-up started above rather than racing
 	// the first request for it, and every warmed template's first real
-	// request lands on the byte-splice fast path.
-	go s.warmPlans(registry.Snapshot())
+	// request lands on the byte-splice fast path. A warm restore then
+	// replays its entries' request tuples so restored hot templates get
+	// their compiled plans back too; /readyz reports "restoring" until
+	// that re-warm finishes.
+	go func() {
+		s.warmPlans(registry.Snapshot())
+		if warm {
+			s.rewarmRestoredPlans(restored)
+		}
+		s.restoring.Store(false)
+	}()
+	if store != nil {
+		interval := cfg.SnapshotInterval
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapLoop(interval)
+	}
 	return s, nil
 }
 
@@ -208,14 +277,36 @@ func (s *Server) Handler() http.Handler {
 
 // Close drains the worker pool: queued requests finish, new submissions
 // fail with 503. /readyz flips to draining immediately so load balancers
-// stop routing, and the peer prober stops. Call after the HTTP listener
-// stopped accepting.
+// stop routing, and the peer prober stops. With snapshots enabled, a final
+// snapshot is written after the pool drains (so it captures every result
+// the drain completed). Call after the HTTP listener stopped accepting.
 func (s *Server) Close() {
+	s.shutdown(true)
+}
+
+// Abort is the crash-shaped shutdown: identical to Close except no final
+// snapshot is written. The cluster kill/restart drill uses it so a restart
+// proves the PERIODIC snapshots are restorable — the guarantee a real
+// crash relies on — rather than a freshly written parting one.
+func (s *Server) Abort() {
+	s.shutdown(false)
+}
+
+func (s *Server) shutdown(finalSnapshot bool) {
 	s.draining.Store(true)
 	if s.cluster != nil {
 		s.cluster.close()
 	}
 	s.pool.Close()
+	if s.store != nil {
+		s.snapOnce.Do(func() {
+			close(s.snapStop)
+		})
+		<-s.snapDone
+		if finalSnapshot {
+			s.writeSnapshot()
+		}
+	}
 }
 
 // Registry exposes the server's rule registry (tests, embedding).
@@ -372,6 +463,11 @@ func (s *Server) ReadyInfo() wire.ReadyResponse {
 		Fingerprint: snap.Fingerprint,
 		Version:     snap.Version,
 	}
+	if s.restoring.Load() {
+		// Serving correctly from restored cache state while the plan
+		// re-warm finishes; informational like degraded, served with 200.
+		out.Status = wire.ReadyRestoring
+	}
 	if h := s.registry.Health(); h.Degraded {
 		out.Status = wire.ReadyDegraded
 		out.LastError = h.LastError
@@ -395,6 +491,14 @@ func (s *Server) MetricsSnapshot() wire.Metrics {
 		m.Self = s.cluster.self
 		m.Peers = s.cluster.peerStatuses()
 		m.BreakerRejects = s.cluster.breakerRejects()
+	}
+	if s.store != nil {
+		m.SnapshotBytes = s.snapshotBytes.Load()
+		if at := s.snapshotAt.Load(); at > 0 {
+			m.SnapshotAgeSeconds = time.Since(time.Unix(0, at)).Seconds()
+		}
+		m.RestoreEntries = s.restoreEntries.Load()
+		m.RestoreMS = float64(s.restoreMS.Load())
 	}
 	return m
 }
@@ -558,6 +662,31 @@ func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src
 	// node's, so the cluster-wide sum of cache_misses equals the number of
 	// distinct generations actually run.
 	s.metrics.cacheMisses.Add(1)
+	// Deadline-budget admission for forwarded work: the forwarder told us
+	// (X-Cryptgend-Deadline-Ms → this context's deadline) how much budget
+	// remains, and observed p99 service time says a full generation will
+	// not fit — shed 429 now so the forwarder's fallback generates locally
+	// instead of both nodes burning a doomed request. The plan fast path
+	// below is NOT gated by this: a resident plan splices in microseconds
+	// and fits any budget a request could still be alive under. So the shed
+	// must sit between them — after forwarding, before pool submission —
+	// which is why it cannot reuse the pool's own saturation-gated check.
+	deadlineShed := func() error {
+		if !isPeerHop(ctx) {
+			return nil
+		}
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return nil
+		}
+		p99, have := s.pool.p99ServiceTime()
+		if !have || time.Until(dl) >= p99 {
+			return nil
+		}
+		s.metrics.shed.Add(1)
+		return fmt.Errorf("service: forwarded budget %v is under the observed p99 service time %v: %w",
+			time.Until(dl).Round(time.Millisecond), p99.Round(time.Millisecond), ErrOverloaded)
+	}
 	// Plan fast path: when a compiled plan for this (template body, rule
 	// set, options) is resident, the miss is served by byte splicing right
 	// here on the request goroutine — no pool round-trip, and no queueing
@@ -571,9 +700,12 @@ func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src
 				Report:      toWireReport(res.Report),
 				Fingerprint: snap.Fingerprint,
 			}
-			s.cache.put(wire.CacheKey(snap.Fingerprint, name, src, req.Package, req.Verify), resp)
+			s.cache.put(wire.CacheKey(snap.Fingerprint, name, src, req.Package, req.Verify), resp, name, src, req.Package, req.Verify)
 			return resp, nil
 		}
+	}
+	if err := deadlineShed(); err != nil {
+		return wire.GenerateResponse{}, err
 	}
 	v, err := s.pool.Submit(ctx, func(ctx context.Context, worker *Worker) (any, error) {
 		g := worker.Generator(gen.Options{PackageName: req.Package, Verify: req.Verify})
@@ -601,7 +733,7 @@ func (s *Server) runLeader(ctx context.Context, key string, f *flight, name, src
 	resp = v.(wire.GenerateResponse)
 	// Populate the cache before releasing the flight so a request landing
 	// between the two sees one or the other, never a fresh miss.
-	s.cache.put(wire.CacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp)
+	s.cache.put(wire.CacheKey(resp.Fingerprint, name, src, req.Package, req.Verify), resp, name, src, req.Package, req.Verify)
 	return resp, nil
 }
 

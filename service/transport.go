@@ -138,13 +138,26 @@ func isPeerHop(ctx context.Context) bool {
 }
 
 // requestCtx derives a handler's working context: the transport timeout,
-// plus the hop-guard mark when the request arrived on the peer channel.
+// plus the hop-guard mark when the request arrived on the peer channel. A
+// forwarded deadline budget (wire.HeaderDeadlineMS) can only tighten the
+// configured timeout, never extend it — the forwarder's remaining budget
+// becomes this request's deadline, so downstream admission (the pool's
+// deadline-vs-p99 shed and the forwarded-work check in runLeader) reasons
+// about the budget the caller actually has.
 func (t *transport) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	ctx := r.Context()
 	if r.Header.Get(wire.HeaderForwarded) != "" {
 		ctx = withPeerHop(ctx)
 	}
-	return context.WithTimeout(ctx, t.opt.requestTimeout)
+	timeout := t.opt.requestTimeout
+	if v := r.Header.Get(wire.HeaderDeadlineMS); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	return context.WithTimeout(ctx, timeout)
 }
 
 func (t *transport) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -54,6 +54,20 @@ type Metrics struct {
 	// BreakerRejects sums, over all peers, the forward attempts this node's
 	// per-peer circuit breakers rejected without trying (peer open).
 	BreakerRejects int64 `json:"breaker_rejects"`
+
+	// Warm-restart snapshot counters (zero when -snapshot-dir is unset).
+
+	// SnapshotAgeSeconds is the age of the last successful snapshot write
+	// (0 until one completes).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// SnapshotBytes is the last successful snapshot's on-disk size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// RestoreEntries counts result-cache entries restored from the snapshot
+	// at boot (0 after a cold start).
+	RestoreEntries int64 `json:"restore_entries"`
+	// RestoreMS is the synchronous boot-restore duration (load + verify +
+	// cache refill; the background plan re-warm is not included).
+	RestoreMS float64 `json:"restore_ms"`
 	// Self is this node's advertised base URL in cluster mode.
 	Self string `json:"self,omitempty"`
 	// Peers maps each peer base URL to its health as seen by this node.
@@ -97,4 +111,10 @@ type ClientStats struct {
 	RetryBudgetTokens float64 `json:"retry_budget_tokens"`
 	// BreakerStates maps each configured node to its breaker state.
 	BreakerStates map[string]string `json:"breaker_states,omitempty"`
+	// HedgedTotal counts hedge requests actually fired (opt-in hedging:
+	// the primary owner was slower than the hedge delay and the retry
+	// budget granted a token).
+	HedgedTotal int64 `json:"hedged_total"`
+	// HedgeWins counts hedged requests where the hedge answered first.
+	HedgeWins int64 `json:"hedge_wins"`
 }

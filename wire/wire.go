@@ -18,6 +18,14 @@ package wire
 // disagreeing member list can bounce a request at most once.
 const HeaderForwarded = "X-Cryptgend-Forwarded"
 
+// Deadline-budget header. A forwarding daemon sets this to the remaining
+// milliseconds of its request deadline, so the owner knows how much budget
+// the work actually has: the owner clamps its own request timeout to the
+// forwarded budget and sheds (429) work its observed p99 service time says
+// it cannot finish in that budget — the forwarder's existing 429 handling
+// falls back to generating locally instead of burning a doomed hop.
+const HeaderDeadlineMS = "X-Cryptgend-Deadline-Ms"
+
 // GenerateRequest is the body of POST /v1/generate. Exactly one of Source
 // or UseCase selects the template.
 type GenerateRequest struct {
@@ -184,8 +192,9 @@ type HealthResponse struct {
 
 // ReadyResponse is the body of GET /readyz (readiness). Status is one of
 // "ok", "degraded" (serving, but the last reload failed and the last-good
-// rule set is live), or "draining" (shutdown began; stop routing — served
-// with HTTP 503).
+// rule set is live), "restoring" (serving from a restored warm-restart
+// snapshot while plan re-warm finishes), or "draining" (shutdown began;
+// stop routing — the only state served with HTTP 503).
 type ReadyResponse struct {
 	Status            string `json:"status"`
 	Fingerprint       string `json:"ruleset_fingerprint,omitempty"`
@@ -200,4 +209,11 @@ const (
 	ReadyOK       = "ok"
 	ReadyDegraded = "degraded"
 	ReadyDraining = "draining"
+	// ReadyRestoring reports a node that restored its result cache from a
+	// warm-restart snapshot and is still re-warming the implied plan-cache
+	// entries in the background. Served with HTTP 200 (like degraded): the
+	// node answers correctly throughout — restoring is a warm-up signal,
+	// not an exclusion signal, and a 503 here would make peers and SDK
+	// probes eject a node that is healthier than a cold one.
+	ReadyRestoring = "restoring"
 )
